@@ -1,0 +1,37 @@
+"""Fig. 10: average packet latency and normalized execution time for the
+application-workload substitutes.
+
+Reduced scale: 4x4 mesh, three benchmarks, four schemes.  Shape claims:
+every scheme completes every workload, execution times stay within a sane
+band of the EscapeVC reference, and FastPass(VC=4) is competitive with the
+best baseline.
+"""
+
+from repro.experiments import fig10
+from benchmarks.conftest import report
+
+BENCHES = ("Radix", "FMM", "Volrend")
+SCHEMES = [
+    ("EscapeVC(VN=6, VC=2)", "escapevc", {}),
+    ("SWAP(VN=6, VC=2)", "swap", {}),
+    ("FastPass(VN=0, VC=2)", "fastpass", {"n_vcs": 2}),
+    ("FastPass(VN=0, VC=4)", "fastpass", {"n_vcs": 4}),
+]
+
+
+def bench_fig10(once, benchmark):
+    result = once(fig10.run, quick=True, benchmarks=BENCHES,
+                  schemes=SCHEMES)
+    report("Fig. 10 — application latency & normalized execution time",
+           fig10.format_result(result))
+    benchmark.extra_info["exec_norm"] = result["exec_norm"]
+    for b in BENCHES:
+        for label in result["schemes"]:
+            norm = result["exec_norm"][b][label]
+            assert 0.5 < norm < 3.0, (b, label, norm)
+    # FastPass(VC=4) average latency within 25% of the best scheme.
+    import math
+    avg = {label: sum(result["latency"][b][label] for b in BENCHES) / 3
+           for label in result["schemes"]}
+    best = min(v for v in avg.values() if not math.isnan(v))
+    assert avg["FastPass(VN=0, VC=4)"] <= 1.25 * best

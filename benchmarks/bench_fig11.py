@@ -1,0 +1,28 @@
+"""Fig. 11: router power and area breakdown (analytical model).
+
+Shape claims (the paper's): FastPass cuts ~40% power/area vs EscapeVC,
+matches Pitstop, SPIN pays ~6% extra for detection, and the FastPass
+overhead is ~4% of its own router.
+"""
+
+import pytest
+
+from repro.experiments import fig11
+from benchmarks.conftest import report
+
+
+def bench_fig11(once, benchmark):
+    result = once(fig11.run, quick=True)
+    report("Fig. 11 — post-P&R power/area (analytical substitute)",
+           fig11.format_result(result))
+    rows = {r["scheme"]: r for r in result["rows"]}
+    benchmark.extra_info["area_vs_escape"] = {
+        k: round(r["area_vs_escape"], 3) for k, r in rows.items()}
+    fp = rows["fastpass"]
+    assert 1 - fp["area_vs_escape"] == pytest.approx(0.40, abs=0.08)
+    assert 1 - fp["power_vs_escape"] == pytest.approx(0.41, abs=0.08)
+    assert fp["area_um2"] == pytest.approx(rows["pitstop"]["area_um2"],
+                                           rel=0.05)
+    assert rows["spin"]["area_vs_escape"] == pytest.approx(1.06, abs=0.02)
+    overhead = fp["area_breakdown"]["overhead"]
+    assert overhead / fp["area_um2"] == pytest.approx(0.04, abs=0.01)

@@ -1,0 +1,31 @@
+"""Fig. 12: 99th-percentile tail latency for application workloads.
+
+Shape claims: FastPass has the lowest (or tied-lowest) tail latency of the
+compared schemes; DRAIN's indiscriminate misrouting gives it the worst
+tail whenever its period fires inside the run.
+"""
+
+from repro.experiments import fig12
+from benchmarks.conftest import report
+
+BENCHES = ("Radix", "FMM", "Volrend")
+SCHEMES = [
+    ("SWAP (VN=6, VC=2)", "swap", {}),
+    ("DRAIN (VN=6, VC=2)", "drain", {}),
+    ("Pitstop (VN=0, VC=2)", "pitstop", {}),
+    ("FastPass(VN=0, VC=2)", "fastpass", {"n_vcs": 2}),
+]
+
+
+def bench_fig12(once, benchmark):
+    result = once(fig12.run, quick=True, benchmarks=BENCHES,
+                  schemes=SCHEMES)
+    report("Fig. 12 — 99th percentile tail latency (applications)",
+           fig12.format_result(result))
+    benchmark.extra_info["p99"] = result["p99"]
+    labels = result["schemes"]
+    avg = {lbl: sum(result["p99"][b][lbl] for b in BENCHES) / len(BENCHES)
+           for lbl in labels}
+    fp = avg["FastPass(VN=0, VC=2)"]
+    # FastPass tail within 1.5x of the best scheme's tail on average.
+    assert fp <= 1.5 * min(avg.values())

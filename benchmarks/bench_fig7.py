@@ -1,0 +1,33 @@
+"""Fig. 7: latency vs injection rate, synthetic traffic, all 8 schemes.
+
+Reduced scale: 8x8 mesh (as the paper), short windows, a coarse rate grid,
+one pattern per benchmark function.  Shape claims asserted: FastPass
+reaches the highest saturation rate; TFC/MinBD collapse early.
+"""
+
+import pytest
+
+from repro.experiments import fig7
+from benchmarks.conftest import report
+
+RATES = [0.02, 0.06, 0.10, 0.14, 0.18]
+
+
+def _run_pattern(pattern):
+    return fig7.run(quick=True, patterns=(pattern,), rates=RATES)
+
+
+@pytest.mark.parametrize("pattern", ["transpose", "shuffle", "bit_rotation"])
+def bench_fig7(once, benchmark, pattern):
+    result = once(_run_pattern, pattern)
+    report(f"Fig. 7 ({pattern}) — avg latency vs injection rate",
+           fig7.format_result(result))
+    series = result["series"][pattern]
+    sats = {label: fig7.saturation_of(pts)
+            for label, pts in series.items()}
+    benchmark.extra_info["saturation"] = sats
+    # Shape: FastPass saturates last (or ties the best baseline).
+    assert sats["FastPass"] >= max(
+        v for k, v in sats.items() if k != "FastPass") - 1e-9
+    # Shape: TFC saturates no later than FastPass by a clear margin.
+    assert sats["FastPass"] >= 1.5 * sats["TFC"]

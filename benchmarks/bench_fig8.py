@@ -1,0 +1,25 @@
+"""Fig. 8: saturation throughput vs mesh size (Transpose).
+
+Shape claim: FastPass wins at every size, and its margin over SWAP grows
+with the network (more partitions = more concurrent FastPass-Packets).
+"""
+
+from repro.experiments import fig8
+from benchmarks.conftest import report
+
+
+def bench_fig8(once, benchmark):
+    result = once(fig8.run, quick=True, sizes=(4, 8), iters=4)
+    report("Fig. 8 — saturation throughput vs network size",
+           fig8.format_result(result))
+    table = result["table"]
+    benchmark.extra_info["table"] = {
+        k: {str(n): v for n, v in row.items()} for k, row in table.items()}
+    for n in result["sizes"]:
+        best_baseline = max(v[n] for k, v in table.items()
+                            if k != "FastPass")
+        assert table["FastPass"][n] >= best_baseline - 0.02
+    # The relative margin over SWAP must not shrink as the mesh grows.
+    g4 = table["FastPass"][4] / max(table["SWAP"][4], 1e-9)
+    g8 = table["FastPass"][8] / max(table["SWAP"][8], 1e-9)
+    assert g8 >= g4 - 0.15

@@ -1,0 +1,30 @@
+"""Fig. 9: latency breakdown of Regular vs FastPass packets (Uniform,
+1 VC).
+
+Shape claim: the bufferless component of FastPass-Packet latency stays
+small and essentially flat across injection rates, while buffered time
+grows with load.
+"""
+
+from repro.experiments import fig9
+from benchmarks.conftest import report
+
+RATES = [0.02, 0.06, 0.10, 0.14]
+
+
+def bench_fig9(once, benchmark):
+    result = once(fig9.run, quick=True, rates=RATES)
+    report("Fig. 9 — Regular vs FastPass packet latency (Uniform, 1 VC)",
+           fig9.format_result(result))
+    rows = [r for r in result["rows"]
+            if r["fp_bufferless"] == r["fp_bufferless"]]
+    assert rows, "no FastPass packets delivered"
+    benchmark.extra_info["rows"] = result["rows"]
+    bufferless = [r["fp_bufferless"] for r in rows]
+    # Small: a bufferless traversal is bounded by diameter + ejection.
+    assert max(bufferless) < 2 * 14 + 10
+    # Flat: spread stays within a handful of cycles across the sweep.
+    assert max(bufferless) - min(bufferless) < 15
+    # Buffered time grows with load.
+    buffered = [r["fp_buffered"] for r in rows]
+    assert buffered[-1] >= buffered[0]

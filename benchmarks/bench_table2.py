@@ -1,0 +1,13 @@
+"""Table II: the simulation parameters as configured in this repo."""
+
+from repro.experiments import table2
+from benchmarks.conftest import report
+
+
+def bench_table2(once, benchmark):
+    result = once(table2.run, quick=True)
+    report("Table II — key simulation parameters", table2.format_result(result))
+    keys = {k for k, _v in result["rows"]}
+    assert {"Topology", "Flow control", "Number of VNs",
+            "FastPass slot K"} <= keys
+    benchmark.extra_info["parameters"] = len(result["rows"])

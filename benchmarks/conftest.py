@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+scale (4x4/8x8 meshes, short windows) so the whole suite completes in
+minutes of pure Python, prints the rows/series the paper reports, and
+asserts the *shape* claims (who wins, roughly by how much).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables inline.
+"""
+
+import pytest
+
+
+def report(title: str, text: str) -> None:
+    print(f"\n=== {title} {'=' * max(0, 66 - len(title))}\n{text}")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Application workloads (PARSEC/SPLASH-2 substitutes) across schemes.
+
+A miniature Fig. 10: run three benchmarks through EscapeVC, SWAP and
+FastPass and report average packet latency plus execution time normalized
+to EscapeVC.
+"""
+
+from repro import SimConfig, Simulation, get_scheme, workload_traffic
+
+BENCHMARKS = ["Radix", "FMM", "Volrend"]
+SCHEMES = [
+    ("EscapeVC(VN=6, VC=2)", "escapevc", {}),
+    ("SWAP(VN=6, VC=2)", "swap", {}),
+    ("FastPass(VN=0, VC=2)", "fastpass", {"n_vcs": 2}),
+]
+
+
+def main() -> None:
+    cfg = SimConfig(rows=4, cols=4)
+    print(f"{'benchmark':<10}{'scheme':<24}{'avg lat':>9}{'p99':>9}"
+          f"{'exec (norm)':>13}")
+    for bench in BENCHMARKS:
+        base_cycles = None
+        for label, name, kwargs in SCHEMES:
+            traffic = workload_traffic(bench, txns_per_core=120, seed=1)
+            sim = Simulation(cfg, get_scheme(name, **kwargs), traffic)
+            res = sim.run_to_completion(max_cycles=300000)
+            if base_cycles is None:
+                base_cycles = res.cycles
+            print(f"{bench:<10}{label:<24}{res.avg_latency:>9.1f}"
+                  f"{res.p99_latency:>9.1f}"
+                  f"{res.cycles / base_cycles:>13.3f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""FastPass on an irregular topology (Sec. III-F).
+
+Builds an irregular (non-mesh) network, derives FastPass partitions by
+segmenting the holistic Eulerian path over the bidirectional channels, and
+verifies the Sec. III-F guarantees: segments are link-disjoint, they cover
+every directed channel exactly once, and the TDM schedule eventually gives
+every router a lane to every segment.
+"""
+
+import networkx as nx
+
+from repro.core import irregular
+
+
+def build_irregular_graph() -> "nx.Graph":
+    """A 12-router topology that is decidedly not a mesh: a ring with
+    chords and a two-level hub."""
+    g = nx.Graph()
+    ring = list(range(10))
+    g.add_edges_from(zip(ring, ring[1:] + ring[:1]))
+    g.add_edges_from([(0, 5), (2, 7), (1, 10), (6, 10), (10, 11), (3, 11)])
+    return g
+
+
+def main() -> None:
+    g = build_irregular_graph()
+    print(f"Topology: {g.number_of_nodes()} routers, "
+          f"{g.number_of_edges()} bidirectional channels")
+
+    path = irregular.holistic_path(g)
+    print(f"Holistic path: {len(path)} directed links "
+          f"(= 2 x {g.number_of_edges()} channels)")
+
+    P = 4
+    segments, routers_of = irregular.derive_partitions(g, P)
+    irregular.verify_segments(g, segments)
+    print(f"\n{P} link-disjoint partitions derived and verified:")
+    for i, (seg, routers) in enumerate(zip(segments, routers_of)):
+        print(f"  partition {i}: {len(seg)} links, "
+              f"routers {sorted(set(routers))}")
+
+    sched = irregular.IrregularSchedule(g, P, slot_cycles=64)
+    assert sched.covers_all()
+    print(f"\nTDM schedule: slot K={sched.K}, phase={sched.phase_len} "
+          f"cycles, full rotation={sched.rotation_len} cycles")
+    for phase in range(2):
+        primes = [sched.prime_of_partition(c, phase) for c in range(P)]
+        targets = [[sched.target_partition(c, s) for s in range(P)]
+                   for c in range(P)]
+        print(f"  phase {phase}: primes={primes}, "
+              f"slot targets per partition={targets}")
+    print("\nEvery router lies on a segment, so every router eventually "
+          "becomes prime\nand reaches every partition — the deadlock-"
+          "freedom argument carries over.")
+
+
+if __name__ == "__main__":
+    main()

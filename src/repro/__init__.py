@@ -1,0 +1,52 @@
+"""repro — a full reproduction of "Stay in your Lane: A NoC with
+Low-overhead Multi-packet Bypassing" (FastPass, HPCA 2022).
+
+The package contains a cycle-level NoC simulator (``repro.network``,
+``repro.sim``), the FastPass mechanism (``repro.core``), the paper's seven
+baselines (``repro.schemes``), traffic models (``repro.traffic``), a router
+power/area model (``repro.power``) and regenerators for every table and
+figure of the evaluation (``repro.experiments``).
+
+Quickstart::
+
+    from repro import SimConfig, get_scheme, run_point
+
+    cfg = SimConfig(rows=8, cols=8)
+    res = run_point(get_scheme("fastpass", n_vcs=4), "transpose", 0.10, cfg)
+    print(res.avg_latency, res.fastpass_delivered)
+"""
+
+from repro.config import RunResult, SimConfig
+from repro.network.packet import MessageClass, Packet
+from repro.network.topology import Mesh
+from repro.schemes import SCHEMES, Scheme, get_scheme, scheme_names
+from repro.sim.engine import Simulation, build_network
+from repro.sim.runner import run_point, saturation_throughput, sweep_latency
+from repro.traffic.coherence import CoherenceTraffic
+from repro.traffic.synthetic import PATTERNS, SyntheticTraffic
+from repro.traffic.workloads import WORKLOADS, workload_traffic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "RunResult",
+    "Packet",
+    "MessageClass",
+    "Mesh",
+    "Scheme",
+    "SCHEMES",
+    "get_scheme",
+    "scheme_names",
+    "Simulation",
+    "build_network",
+    "run_point",
+    "sweep_latency",
+    "saturation_throughput",
+    "SyntheticTraffic",
+    "PATTERNS",
+    "CoherenceTraffic",
+    "WORKLOADS",
+    "workload_traffic",
+    "__version__",
+]

@@ -1,0 +1,125 @@
+"""FastPass management: prime-router packet scanning and upgrading.
+
+Implements Sec. III-C2 faithfully:
+
+* for each partition, when its lane is free and enough of the slot remains
+  for a worst-case round trip, the prime scans for an eligible packet —
+  one whose destination lies in the currently covered partition;
+* the scan starts with the *request injection queue* (so a bounced packet
+  is always re-selected first, Qn 2 scenario 1), then the other injection
+  queues, then the input-port VCs in round-robin order;
+* upgrading a packet from an input VC frees the upstream credit as soon as
+  the packet departs (Sec. III-C4) — unless a bounced packet is waiting in
+  the request injection queue, in which case it takes the freed slot via
+  the green path (Qn 2 scenario 2) instead of the credit going upstream.
+"""
+
+from __future__ import annotations
+
+from repro.core.fastflow import FastFlowEngine
+from repro.core.schedule import TdmSchedule
+from repro.network.packet import MessageClass
+
+
+class FastPassManager:
+    """Drives all primes; one instance per network."""
+
+    def __init__(self, net):
+        cfg = net.cfg
+        self.net = net
+        self.mesh = net.mesh
+        self.schedule = TdmSchedule(cfg.rows, cfg.cols, cfg.fastpass_slot())
+        self.engine = FastFlowEngine(net)
+        P = self.schedule.P
+        self.lane_free_at = [0] * P
+        self._scan_rr = [0] * P
+        self.upgrades = 0
+        self.upgrades_from_injection = 0
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        sched = self.schedule
+        info = sched.info(now)
+        for c in range(sched.P):
+            if self.lane_free_at[c] > now:
+                continue
+            prime = sched.prime_of_partition(c, info.phase)
+            tcol = sched.target_partition(c, info.slot)
+            found = self._select(c, prime, tcol, now, info.slot_end)
+            if found is None:
+                continue
+            pkt, remove = found
+            remove()
+            self.upgrades += 1
+            self.lane_free_at[c] = self.engine.launch_forward(pkt, prime,
+                                                              now)
+
+    # ------------------------------------------------------------------
+    def _eligible(self, pkt, prime: int, tcol: int, now: int,
+                  slot_end: int) -> bool:
+        if pkt.dst == prime or pkt.dst % self.mesh.cols != tcol:
+            return False
+        rt = self.engine.round_trip_cycles(prime, pkt.dst, pkt.size)
+        return now + rt <= slot_end
+
+    def _select(self, c: int, prime: int, tcol: int, now: int,
+                slot_end: int):
+        """Find the next FastPass-Packet candidate at ``prime``.
+
+        Returns ``(pkt, remove_callback)`` or None.
+        """
+        net = self.net
+        ni = net.nis[prime]
+        # 1. Injection buffers, request queue first (Qn 2 / Qn 6).
+        order = [MessageClass.REQUEST] + \
+            [m for m in MessageClass if m != MessageClass.REQUEST]
+        for cls in order:
+            q = ni.inj[cls]
+            if q and self._eligible(q[0], prime, tcol, now, slot_end):
+                pkt = q[0]
+                return pkt, lambda q=q, pkt=pkt: self._take_injection(ni,
+                                                                      q, pkt)
+        # 2. Input-port VC slots, round-robin.
+        router = net.routers[prime]
+        flat = [s for port_slots in router.slots for s in port_slots]
+        n = len(flat)
+        start = self._scan_rr[c] % n
+        for k in range(n):
+            slot = flat[(start + k) % n]
+            pkt = slot.pkt
+            if pkt is None or slot.ready_at > now:
+                continue
+            if self._eligible(pkt, prime, tcol, now, slot_end):
+                self._scan_rr[c] = start + k + 1
+                return pkt, lambda slot=slot, pkt=pkt: self._take_slot(
+                    ni, slot, pkt, now)
+        return None
+
+    # -- removal callbacks ---------------------------------------------------
+    def _take_injection(self, ni, q, pkt) -> None:
+        q.remove(pkt)
+        pkt.net_entry = self.net.cycle
+        pkt.rejected = False
+        self.net.stats.injected += 1
+        self.upgrades_from_injection += 1
+
+    def _take_slot(self, ni, slot, pkt, now: int) -> None:
+        slot.pkt = None
+        rejected = self._pending_rejected(ni)
+        if rejected is not None:
+            # Green path: the bounced packet moves into the freed VC slot;
+            # the upstream credit is NOT returned (the slot stays occupied).
+            ni.inj[MessageClass.REQUEST].remove(rejected)
+            slot.pkt = rejected
+            slot.ready_at = now + 1
+            slot.free_at = 1 << 60
+            rejected.invalidate_route()
+        else:
+            # Credit freed as soon as the FastPass-Packet departs.
+            slot.free_at = now + pkt.size
+
+    def _pending_rejected(self, ni):
+        for pkt in ni.inj[MessageClass.REQUEST]:
+            if pkt.rejected:
+                return pkt
+        return None

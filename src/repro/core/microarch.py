@@ -1,0 +1,99 @@
+"""Structural model of the FastPass router's extra hardware (Fig. 6).
+
+The simulator models FastPass behaviourally; this module enumerates the
+*hardware* the mechanism adds to a baseline router, bit by bit, so the
+area/power overhead can be derived structurally instead of assumed:
+
+* **path table** — P entries of ceil(log2 P) bits (the partition pointer's
+  targets; "for an 8x8 mesh, 3 bits per entry");
+* **FastPass management** — the slot/phase counters (count up to the
+  rotation length), the prime-status bit and PrimeID register (6 bits for
+  8x8), and the per-port lookahead latches (10 bits each for 8x8);
+* **datapath muxes** — D0 demux and the M1/M2 muxes per port that steer
+  incoming FastPass-Packets around the input buffers and bounced packets
+  into the injection queue (per-bit mux cost x flit width);
+* **dropping management** — comparator + pointer into the request
+  injection queue.
+
+`overhead_fraction()` ties this to the analytical power model: for the
+paper's 8x8 / VC=2 configuration it lands at a few percent of the FastPass
+router — consistent with the paper's "~4% of FastPass area".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.lookahead import signal_width
+from repro.network.topology import Mesh
+from repro.power import model as power_model
+
+
+@dataclass(frozen=True)
+class FastPassHardware:
+    """Bit/gate inventory of the FastPass additions for one router."""
+
+    path_table_bits: int
+    counter_bits: int
+    prime_id_bits: int
+    lookahead_latch_bits: int
+    mux_bit_slices: int
+    dropping_cmp_bits: int
+
+    @property
+    def register_bits(self) -> int:
+        return (self.path_table_bits + self.counter_bits +
+                self.prime_id_bits + self.lookahead_latch_bits +
+                self.dropping_cmp_bits)
+
+
+def inventory(mesh: Mesh, n_vcs: int, flit_bits: int = 128,
+              n_ports: int = 5) -> FastPassHardware:
+    """Enumerate the FastPass hardware for a router of ``mesh``."""
+    P = mesh.cols
+    entry_bits = max(1, math.ceil(math.log2(P)))
+    rotation = mesh.rows * P * (2 * mesh.diameter * n_ports * n_vcs)
+    counter_bits = max(1, math.ceil(math.log2(rotation + 1)))
+    la_bits = signal_width(mesh)
+    return FastPassHardware(
+        path_table_bits=P * entry_bits,
+        counter_bits=counter_bits,
+        prime_id_bits=max(1, math.ceil(math.log2(mesh.n_routers))),
+        lookahead_latch_bits=n_ports * la_bits,
+        # D0 + M1 + M2: three steering points, each a 2:1 mux per datapath
+        # bit per port.
+        mux_bit_slices=3 * n_ports * flit_bits,
+        dropping_cmp_bits=2 * max(1, math.ceil(math.log2(mesh.n_routers))),
+    )
+
+
+#: per-register-bit and per-mux-slice costs, scaled from the power model's
+#: buffer-bit calibration (a mux slice is far cheaper than a storage bit).
+AREA_PER_REGISTER_BIT = power_model.AREA_PER_BUFFER_BIT
+AREA_PER_MUX_SLICE = power_model.AREA_PER_BUFFER_BIT * 0.35
+POWER_PER_REGISTER_BIT = power_model.POWER_PER_BUFFER_BIT
+POWER_PER_MUX_SLICE = power_model.POWER_PER_BUFFER_BIT * 0.35
+
+
+def overhead_area(mesh: Mesh, n_vcs: int) -> float:
+    hw = inventory(mesh, n_vcs)
+    return (hw.register_bits * AREA_PER_REGISTER_BIT +
+            hw.mux_bit_slices * AREA_PER_MUX_SLICE)
+
+
+def overhead_power(mesh: Mesh, n_vcs: int) -> float:
+    hw = inventory(mesh, n_vcs)
+    return (hw.register_bits * POWER_PER_REGISTER_BIT +
+            hw.mux_bit_slices * POWER_PER_MUX_SLICE)
+
+
+def overhead_fraction(mesh: Mesh, n_vcs: int) -> float:
+    """FastPass overhead as a fraction of the full FastPass router area.
+
+    The paper reports ~4% for the 8x8 / VN-free configuration; the
+    structural inventory reproduces that magnitude.
+    """
+    base = power_model.scheme_cost("baseline", 1, n_vcs)
+    extra = overhead_area(mesh, n_vcs)
+    return extra / (base.area + extra)

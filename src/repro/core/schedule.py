@@ -1,0 +1,91 @@
+"""The TDM schedule: partitions, time slots, phases, prime rotation.
+
+Terminology (Sec. III-A):
+
+* the mesh is split into ``P`` column *partitions*;
+* in every *slot* (``K`` cycles) each partition has one *prime router*;
+  concurrent primes never share a row or a column (initially the diagonal,
+  Fig. 4), which is what guarantees lane/returning-path non-overlap;
+* during slot ``s`` of a phase, the prime of partition ``c`` owns a
+  FastPass-Lane into partition ``(c + s) mod P``;
+* a *phase* is ``P`` slots — after it, every prime has covered every
+  router, and the prime role moves to the next row within each partition.
+
+``K`` defaults to the paper's formula ``(2 x #Hops) x #Inputs x #VCs``
+(Qn 5): long enough for a round trip to the farthest destination for every
+input buffer a prime may serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SlotInfo:
+    """Where the schedule stands at some cycle."""
+
+    phase: int          # global phase counter (never wraps)
+    slot: int           # slot index within the phase, 0..P-1
+    slot_start: int     # first cycle of this slot
+    slot_end: int       # first cycle after this slot
+
+
+class TdmSchedule:
+    """Deterministic, globally-known schedule — no coordination needed;
+    every router derives the same answers from the cycle counter alone."""
+
+    def __init__(self, rows: int, cols: int, slot_cycles: int):
+        if rows != cols:
+            raise ValueError(
+                "the mesh TDM schedule requires a square mesh so that "
+                "concurrent primes can avoid sharing rows (see "
+                "repro.core.irregular for non-mesh topologies)")
+        if slot_cycles < 1:
+            raise ValueError("slot length must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.P = cols
+        self.K = slot_cycles
+        self.phase_len = self.P * self.K
+        #: cycles for every router to have been prime once
+        self.rotation_len = rows * self.phase_len
+
+    # ------------------------------------------------------------------
+    def info(self, cycle: int) -> SlotInfo:
+        phase = cycle // self.phase_len
+        within = cycle - phase * self.phase_len
+        slot = within // self.K
+        slot_start = phase * self.phase_len + slot * self.K
+        return SlotInfo(phase, slot, slot_start, slot_start + self.K)
+
+    def prime_of_partition(self, partition: int, phase: int) -> int:
+        """Router id of the prime of ``partition`` during ``phase``.
+
+        Partition ``c`` is column ``c``; its prime sits in row
+        ``(c + phase) mod rows`` — the diagonal at phase 0, shifting one
+        row per phase ("the prime ability is given to the next adjacent
+        router within the partition").
+        """
+        row = (partition + phase) % self.rows
+        return row * self.cols + partition
+
+    def primes(self, phase: int) -> list[int]:
+        """All concurrent primes in ``phase`` (one per partition)."""
+        return [self.prime_of_partition(c, phase) for c in range(self.P)]
+
+    def target_partition(self, partition: int, slot: int) -> int:
+        """Partition covered by partition ``partition``'s lane in ``slot``."""
+        return (partition + slot) % self.P
+
+    # -- guarantees used by the proof-of-correctness tests ---------------
+    def slots_until_prime(self, rid: int) -> int:
+        """Phases until router ``rid`` becomes prime, from phase 0."""
+        col = rid % self.cols
+        row = rid // self.cols
+        return (row - col) % self.rows
+
+    def coverage_bound(self) -> int:
+        """Upper bound (cycles) until ANY packet anywhere could have been
+        upgraded toward ANY destination: one full rotation (Lemma 2)."""
+        return self.rotation_len

@@ -1,0 +1,65 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-experiments table1 fig7 --full
+    repro-experiments all            # everything, quick mode
+    python -m repro.experiments.cli fig11
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments import ALL
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of the FastPass paper "
+                    "(HPCA 2022).")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(ALL)}) or 'all'")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale parameters (slow) instead of the "
+                             "quick defaults")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump every raw result dict to a JSON "
+                             "file")
+    args = parser.parse_args(argv)
+
+    names = list(ALL) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in ALL]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    collected = {}
+    for name in names:
+        module = ALL[name]
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        t0 = time.time()
+        result = module.run(quick=not args.full)
+        print(module.format_result(result))
+        print(f"--- {name} done in {time.time() - t0:.1f}s\n")
+        collected[name] = result
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2, default=_jsonable)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+def _jsonable(obj):
+    """Best-effort JSON coercion for result payloads."""
+    if isinstance(obj, (set, frozenset, tuple)):
+        return sorted(obj) if isinstance(obj, (set, frozenset)) else \
+            list(obj)
+    return str(obj)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

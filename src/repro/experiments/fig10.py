@@ -1,0 +1,85 @@
+"""Fig. 10: average packet latency and normalized execution time for the
+application workloads (PARSEC/SPLASH-2 substitutes, see DESIGN.md §5).
+
+Execution time is normalized to EscapeVC, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import FIG10_SCHEMES, app_config, app_txns, fnum
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.traffic.workloads import workload_traffic
+
+BENCHMARKS = ("Radix", "Canneal", "FFT", "FMM", "Lu_cb", "Streamcluster",
+              "Volrend")
+
+
+def run_app(scheme_label: str, scheme_name: str, scheme_kwargs: dict,
+            bench: str, quick: bool, seed: int = 1):
+    cfg = app_config(quick)
+    traffic = workload_traffic(bench, txns_per_core=app_txns(quick),
+                               seed=seed)
+    sim = Simulation(cfg, get_scheme(scheme_name, **scheme_kwargs), traffic)
+    res = sim.run_to_completion(max_cycles=400000)
+    res.extra["completed"] = traffic.completed
+    res.extra["total"] = traffic.total_txns
+    return res
+
+
+def run(quick: bool = True, benchmarks=BENCHMARKS, schemes=None) -> dict:
+    schemes = schemes or FIG10_SCHEMES
+    latency: dict[str, dict[str, float]] = {}
+    exec_time: dict[str, dict[str, float]] = {}
+    p99: dict[str, dict[str, float]] = {}
+    for bench in benchmarks:
+        latency[bench] = {}
+        exec_time[bench] = {}
+        p99[bench] = {}
+        for label, name, kwargs in schemes:
+            res = run_app(label, name, kwargs, bench, quick)
+            latency[bench][label] = res.avg_latency
+            exec_time[bench][label] = res.cycles
+            p99[bench][label] = res.p99_latency
+    # Normalize execution time to the first scheme (EscapeVC).
+    base_label = schemes[0][0]
+    norm: dict[str, dict[str, float]] = {}
+    for bench in benchmarks:
+        base = exec_time[bench][base_label]
+        norm[bench] = {lbl: t / base for lbl, t in exec_time[bench].items()}
+    return {
+        "benchmarks": list(benchmarks),
+        "schemes": [s[0] for s in schemes],
+        "latency": latency,
+        "exec_norm": norm,
+        "exec_cycles": exec_time,
+        "p99": p99,
+    }
+
+
+def _avg(d: dict, benches, label) -> float:
+    vals = [d[b][label] for b in benches if d[b][label] == d[b][label]]
+    return sum(vals) / len(vals) if vals else float("nan")
+
+
+def format_result(result: dict) -> str:
+    benches = result["benchmarks"]
+    labels = result["schemes"]
+    lines = ["--- average packet latency (cycles)"]
+    head = f"{'benchmark':<14}" + "".join(f"{lbl:>22}" for lbl in labels)
+    lines.append(head)
+    for b in benches:
+        lines.append(f"{b:<14}" + "".join(
+            f"{fnum(result['latency'][b][lbl]):>22}" for lbl in labels))
+    lines.append(f"{'Average':<14}" + "".join(
+        f"{fnum(_avg(result['latency'], benches, lbl)):>22}"
+        for lbl in labels))
+    lines.append("--- normalized execution time (to EscapeVC)")
+    lines.append(head)
+    for b in benches:
+        lines.append(f"{b:<14}" + "".join(
+            f"{fnum(result['exec_norm'][b][lbl], 3):>22}" for lbl in labels))
+    lines.append(f"{'Average':<14}" + "".join(
+        f"{fnum(_avg(result['exec_norm'], benches, lbl), 3):>22}"
+        for lbl in labels))
+    return "\n".join(lines)

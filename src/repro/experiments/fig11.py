@@ -1,0 +1,33 @@
+"""Fig. 11: post-P&R router power and area (analytical substitute).
+
+The paper's headline: FastPass cuts power/area ~40% vs EscapeVC, matches
+Pitstop, and SPIN pays ~6% extra for its detection circuit.
+"""
+
+from __future__ import annotations
+
+from repro.power.report import FIG11_CONFIGS, area_power_table
+
+
+def run(quick: bool = True) -> dict:
+    rows = area_power_table(FIG11_CONFIGS)
+    return {"rows": rows}
+
+
+def format_result(result: dict) -> str:
+    rows = result["rows"]
+    lines = [f"{'scheme':<10}{'VN':>4}{'VC':>4}{'area µm²':>12}"
+             f"{'power µW':>12}{'area/Esc':>10}{'pwr/Esc':>10}   breakdown"]
+    for r in rows:
+        bd = r["area_breakdown"]
+        parts = " ".join(f"{k}={v:,.0f}" for k, v in bd.items())
+        lines.append(f"{r['scheme']:<10}{r['vns']:>4}{r['vcs']:>4}"
+                     f"{r['area_um2']:>12,.0f}{r['power_uw']:>12,.0f}"
+                     f"{r['area_vs_escape']:>10.2f}"
+                     f"{r['power_vs_escape']:>10.2f}   {parts}")
+    fp = next(r for r in rows if r["scheme"] == "fastpass")
+    lines.append(f"FastPass reduction vs EscapeVC: "
+                 f"area {100 * (1 - fp['area_vs_escape']):.0f}%, "
+                 f"power {100 * (1 - fp['power_vs_escape']):.0f}% "
+                 f"(paper: 40% / 41%)")
+    return "\n".join(lines)

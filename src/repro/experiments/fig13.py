@@ -1,0 +1,91 @@
+"""Fig. 13: breakdown of packet types in FastPass (1 VC): regular packets,
+FastPass-Packets, and dropped packets — under (a) Uniform synthetic traffic
+and (b) the application workloads.
+
+Claims to reproduce: regular packets dominate at low load (FastPass behaves
+like the baseline), FastFlow kicks in with load, and the dropped fraction
+stays negligible (<= 5.9% synthetic post-saturation, ~0.3% applications —
+far below SCARAB's ~9%).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import app_config, app_txns, synthetic_config
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.sim.runner import run_point
+from repro.traffic.workloads import workload_traffic
+
+QUICK_RATES = [0.02, 0.06, 0.10, 0.14]
+FULL_RATES = [0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16]
+
+BENCHMARKS = ("Barnes", "Canneal", "FFT", "FMM", "Volrend")
+
+
+def _breakdown(res) -> dict:
+    delivered = res.fastpass_delivered + res.regular_delivered
+    total = delivered + res.dropped
+    if total == 0:
+        return {"regular": 1.0, "fastpass": 0.0, "dropped": 0.0}
+    return {
+        "regular": res.regular_delivered / total,
+        "fastpass": res.fastpass_delivered / total,
+        "dropped": res.dropped / total,
+    }
+
+
+def run(quick: bool = True, rates=None, benchmarks=BENCHMARKS) -> dict:
+    cfg = synthetic_config(quick)
+    rates = rates or (QUICK_RATES if quick else FULL_RATES)
+    uniform = []
+    for rate in rates:
+        res = run_point(get_scheme("fastpass", n_vcs=1), "uniform", rate,
+                        cfg)
+        uniform.append({"rate": rate, **_breakdown(res)})
+    apps = []
+    for bench in benchmarks:
+        traffic = workload_traffic(bench, txns_per_core=app_txns(quick))
+        sim = Simulation(app_config(quick),
+                         get_scheme("fastpass", n_vcs=1), traffic)
+        res = sim.run_to_completion(max_cycles=400000)
+        apps.append({"benchmark": bench, **_breakdown(res)})
+    # (c) the adversarial protocol-pressure scenario: the regime where the
+    # dynamic bubble actually drops (and regenerates) requests.  The paper
+    # reports 5.9% at synthetic post-saturation and 0.3% for applications;
+    # at the loads our substrate reaches, drops only materialise under
+    # protocol back-pressure, so this section exhibits the bound.
+    from repro.experiments.table1 import (
+        deadlock_scenario_config,
+        deadlock_traffic,
+    )
+    sim = Simulation(deadlock_scenario_config(),
+                     get_scheme("fastpass", n_vcs=1), deadlock_traffic())
+    res = sim.run_to_completion(max_cycles=120000)
+    stress = {"completed": sim.traffic.done(), **_breakdown(res)}
+    return {"uniform": uniform, "apps": apps, "stress": stress}
+
+
+def format_result(result: dict) -> str:
+    lines = ["--- (a) Uniform, 1 VC",
+             f"{'rate':>6}{'Regular%':>10}{'FastPass%':>11}{'Dropped%':>10}"]
+    for r in result["uniform"]:
+        lines.append(f"{r['rate']:>6.2f}{100 * r['regular']:>10.1f}"
+                     f"{100 * r['fastpass']:>11.1f}"
+                     f"{100 * r['dropped']:>10.2f}")
+    lines.append("--- (b) Applications, 1 VC")
+    lines.append(f"{'benchmark':<12}{'Regular%':>10}{'FastPass%':>11}"
+                 f"{'Dropped%':>10}")
+    for r in result["apps"]:
+        lines.append(f"{r['benchmark']:<12}{100 * r['regular']:>10.1f}"
+                     f"{100 * r['fastpass']:>11.1f}"
+                     f"{100 * r['dropped']:>10.2f}")
+    s = result.get("stress")
+    if s is not None:
+        lines.append("--- (c) adversarial protocol pressure (dropping "
+                     "regime)")
+        lines.append(f"{'scenario':<12}{100 * s['regular']:>10.1f}"
+                     f"{100 * s['fastpass']:>11.1f}"
+                     f"{100 * s['dropped']:>10.2f}"
+                     f"   completed={s['completed']}"
+                     f"  (SCARAB drops up to 9%)")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""NoC substrate: topology, links, buffers, routers, interfaces, routing."""
+
+from repro.network.packet import (
+    Packet,
+    MessageClass,
+    N_CLASSES,
+    SINK_CLASSES,
+    flits_for_class,
+)
+from repro.network.topology import Mesh, PORT_LOCAL, PORT_N, PORT_E, PORT_S, PORT_W
+from repro.network.network import Network
+
+__all__ = [
+    "Packet",
+    "MessageClass",
+    "N_CLASSES",
+    "SINK_CLASSES",
+    "flits_for_class",
+    "Mesh",
+    "Network",
+    "PORT_LOCAL",
+    "PORT_N",
+    "PORT_E",
+    "PORT_S",
+    "PORT_W",
+]

@@ -1,0 +1,116 @@
+"""The Network: routers, links, NIs, the cycle loop, and the event wheel."""
+
+from __future__ import annotations
+
+from repro.network.link import Link
+from repro.network.ni import NetworkInterface
+from repro.network.router import Router
+from repro.network.topology import OPPOSITE, PORT_LOCAL
+from repro.network.watchdog import Watchdog
+from repro.sim.stats import StatsCollector
+
+
+class Network:
+    """A complete NoC instance.
+
+    The per-cycle order of operations is:
+
+    1. scheme ``pre_cycle`` hook (FastPass management, SPIN probes, ...),
+    2. scheduled events (FastFlow arrivals, MSHR regenerations, ...),
+    3. NI injection,
+    4. router switch allocation (all routers, fixed order),
+    5. NI consumption (processor / LLC models),
+    6. scheme ``post_cycle`` hook and the watchdog.
+    """
+
+    def __init__(self, cfg, mesh, routing_fn, router_cls=Router, scheme=None):
+        self.cfg = cfg
+        self.mesh = mesh
+        self.routing_fn = routing_fn
+        self.scheme = scheme
+        self.cycle = 0
+        self.last_progress = 0
+        #: set by schemes (DRAIN) to pause normal switching and injection
+        self.suspended = False
+        #: packets travelling outside router buffers (FastFlow traversals,
+        #: Pitstop NI bypass) — kept so conservation accounting is exact
+        self.in_transit = 0
+        self.stats = StatsCollector()
+        self._events: dict[int, list] = {}
+
+        self.routers = [router_cls(rid, mesh, cfg, self)
+                        for rid in range(mesh.n_routers)]
+        self.nis = [NetworkInterface(rid, cfg, self)
+                    for rid in range(mesh.n_routers)]
+        self.links: list[Link] = []
+        self._wire()
+        self.watchdog = Watchdog(self, cfg.watchdog_cycles)
+        self.traffic = None
+
+    def _wire(self) -> None:
+        for rid in range(self.mesh.n_routers):
+            router = self.routers[rid]
+            for port in self.mesh.ports_of(rid):
+                nbr = self.mesh.neighbor(rid, port)
+                link = Link(rid, port, nbr, OPPOSITE[port])
+                router.links_out[port] = link
+                router.neighbors[port] = self.routers[nbr]
+                self.links.append(link)
+
+    # -- event wheel -------------------------------------------------------
+    def schedule(self, cycle: int, fn, *args) -> None:
+        """Run ``fn(cycle, *args)`` at the start of ``cycle``."""
+        self._events.setdefault(cycle, []).append((fn, args))
+
+    def _run_events(self, now: int) -> None:
+        ev = self._events.pop(now, None)
+        if ev:
+            for fn, args in ev:
+                fn(now, *args)
+
+    # -- main loop -----------------------------------------------------------
+    def step(self) -> None:
+        now = self.cycle
+        if self.scheme is not None:
+            self.scheme.pre_cycle(self, now)
+        self._run_events(now)
+        if self.traffic is not None:
+            self.traffic.generate(self, now)
+        if not self.suspended:
+            for ni in self.nis:
+                ni.inject_step(now)
+            for router in self.routers:
+                router.step(now)
+        for ni in self.nis:
+            ni.consume_step(now)
+        if self.scheme is not None:
+            self.scheme.post_cycle(self, now)
+        self.watchdog.check(now)
+        self.cycle = now + 1
+
+    def run(self, cycles: int) -> None:
+        end = self.cycle + cycles
+        while self.cycle < end:
+            self.step()
+
+    # -- queries ---------------------------------------------------------------
+    def packets_in_flight(self) -> int:
+        """Packets currently inside routers or NI queues (excl. pending)."""
+        count = self.in_transit
+        for router in self.routers:
+            count += sum(1 for s in router.occupied if s.pkt is not None)
+            count += router.extra_occupancy()
+        for ni in self.nis:
+            count += ni.inj_occupancy()
+        return count
+
+    def total_backlog(self) -> int:
+        """In-flight packets plus source-queue backlog."""
+        return self.packets_in_flight() + sum(len(ni.pending)
+                                              for ni in self.nis)
+
+    def link_for(self, rid: int, port: int) -> Link:
+        link = self.routers[rid].links_out[port]
+        if link is None:
+            raise ValueError(f"router {rid} has no link on port {port}")
+        return link

@@ -1,0 +1,208 @@
+"""Network interfaces: per-message-class injection and ejection queues.
+
+Matches the paper's NI model (Fig. 2/6): the injection and ejection buffers
+keep one queue per message class even in the 0-VN configurations.  The
+ejection queues support FastPass's pro-active *reservation* (Sec. III-C4,
+Qn 3) and the injection request queue supports the *dynamic bubble*
+dropping/regeneration mechanism (dropped requests are rebuilt from the
+local MSHR after a small delay).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.packet import N_CLASSES, MessageClass
+
+
+class EjectionQueue:
+    """A bounded per-class ejection queue with FastPass reservations.
+
+    A reservation earmarks the *next free slot* for a specific bounced
+    FastPass-Packet: regular arrivals may not consume capacity that is
+    spoken for, while the reserved packet may enter as soon as any physical
+    slot is free.
+    """
+
+    __slots__ = ("q", "cap", "reservations")
+
+    def __init__(self, cap: int):
+        self.q = deque()
+        self.cap = cap
+        self.reservations: set[int] = set()
+
+    def can_accept(self, pkt) -> bool:
+        if pkt.pid in self.reservations:
+            return len(self.q) < self.cap
+        return len(self.q) + len(self.reservations) < self.cap
+
+    def push(self, pkt) -> None:
+        self.reservations.discard(pkt.pid)
+        self.q.append(pkt)
+
+    def reserve(self, pkt) -> None:
+        self.reservations.add(pkt.pid)
+
+    def __len__(self) -> int:
+        return len(self.q)
+
+
+class NetworkInterface:
+    """Injection/ejection side of one node.
+
+    * ``pending`` is the unbounded source queue (latency is charged from
+      generation time, the standard open-loop methodology);
+    * ``inj`` holds one bounded queue per message class;
+    * ``ej`` holds one bounded queue per message class.
+    """
+
+    def __init__(self, rid: int, cfg, net):
+        self.id = rid
+        self.cfg = cfg
+        self.net = net
+        self.pending = deque()
+        self.inj = [deque() for _ in range(N_CLASSES)]
+        self.ej = [EjectionQueue(cfg.ej_queue_pkts) for _ in range(N_CLASSES)]
+        self.inj_busy_until = 0
+        self._inj_rr = 0
+        self.consumer = None   # set by the traffic model
+        # Statistics of the dynamic-bubble mechanism.
+        self.dropped = 0
+        self.regenerated = 0
+
+    # -- generation ------------------------------------------------------
+    def source(self, pkt) -> None:
+        """Accept a freshly generated packet from the traffic source."""
+        if pkt.dst == self.id:
+            # Local delivery never enters the network, but the attached
+            # processor/LLC model must still see the message.
+            pkt.eject_cycle = pkt.gen_cycle + 1
+            self.net.stats.record_ejected(pkt)
+            if self.consumer is not None:
+                self.consumer.on_local(self, pkt)
+            return
+        self.pending.append(pkt)
+
+    # -- injection -------------------------------------------------------
+    def inject_step(self, now: int) -> None:
+        cfg = self.cfg
+        # Refill the bounded per-class injection queues from the source.
+        while self.pending and self.pending[0].gen_cycle <= now:
+            pkt = self.pending[0]
+            q = self.inj[pkt.mclass]
+            if len(q) >= cfg.inj_queue_pkts:
+                break
+            q.append(pkt)
+            self.pending.popleft()
+        if self.inj_busy_until > now:
+            return
+        # Round-robin across classes; claim a free local-port VC slot.
+        router = self.net.routers[self.id]
+        local_slots = router.slots[0]
+        for k in range(N_CLASSES):
+            cls = (self._inj_rr + k) % N_CLASSES
+            q = self.inj[cls]
+            if not q:
+                continue
+            pkt = q[0]
+            slot = None
+            for vc in router.vn_vcs(pkt.vn):
+                s = local_slots[vc]
+                if s.pkt is None and s.free_at <= now:
+                    slot = s
+                    break
+            if slot is None:
+                continue
+            q.popleft()
+            slot.pkt = pkt
+            slot.ready_at = now + 1
+            slot.free_at = 1 << 60
+            router.occupied.append(slot)
+            pkt.net_entry = now
+            pkt.rejected = False
+            self.inj_busy_until = now + pkt.size
+            self._inj_rr = cls + 1
+            self.net.last_progress = now
+            self.net.stats.injected += 1
+            break
+
+    # -- ejection ----------------------------------------------------------
+    def can_eject(self, pkt, now: int) -> bool:
+        return self.ej[pkt.mclass].can_accept(pkt)
+
+    def eject(self, pkt, now: int) -> None:
+        pkt.eject_cycle = now + 1
+        self.ej[pkt.mclass].push(pkt)
+        self.net.stats.record_ejected(pkt)
+
+    #: default ejection-drain bandwidth (packets/node/cycle) when no
+    #: processor model is attached.  Finite, so ejection queues can fill
+    #: under post-saturation bursts — the condition that triggers the
+    #: paper's bounce/drop machinery (Fig. 13's dropped fraction).
+    CONSUME_RATE = 2
+
+    def consume_step(self, now: int) -> None:
+        """Let the attached processor/LLC model drain the ejection queues.
+
+        Without a consumer (pure synthetic traffic), up to ``CONSUME_RATE``
+        packets are retired per cycle, round-robin over the classes —
+        ejected packets are consumed almost immediately (as the paper
+        observes) but not instantaneously.
+        """
+        if self.consumer is not None:
+            self.consumer.consume(self, now)
+            return
+        budget = self.CONSUME_RATE
+        for k in range(N_CLASSES):
+            q = self.ej[(self._inj_rr + k) % N_CLASSES]
+            while q.q and budget:
+                q.q.popleft()
+                budget -= 1
+            if not budget:
+                break
+
+    # -- dynamic bubble support (FastPass) ---------------------------------
+    def make_bubble(self, now: int) -> bool:
+        """Drop one droppable injection request to free a slot (Sec. III-C4).
+
+        Droppable packets are injection *requests* that have never left the
+        source and are not themselves bounced FastPass-Packets.  The dropped
+        request is regenerated from the local MSHR after a small delay.
+        Returns True if a slot was freed.
+        """
+        q = self.inj[MessageClass.REQUEST]
+        for i, pkt in enumerate(q):
+            if not pkt.rejected:
+                del q[i]
+                self.dropped += 1
+                self.net.stats.dropped += 1
+                pkt.drop_count += 1
+                self.net.schedule(now + self.cfg.mshr_regen_cycles,
+                                  self._regenerate, pkt)
+                return True
+        return False
+
+    def _regenerate(self, now: int, pkt) -> None:
+        """Re-issue a dropped request from the MSHR (paper: the dropped
+        packet never left the source, so regeneration is local and cheap).
+        ``gen_cycle`` is kept, so latency stays charged from first issue."""
+        self.regenerated += 1
+        self.pending.appendleft(pkt)
+
+    def accept_bounced(self, pkt, now: int) -> None:
+        """Receive a bounced FastPass-Packet into the request injection
+        queue, making a bubble if the queue is full (Fig. 3)."""
+        q = self.inj[MessageClass.REQUEST]
+        if len(q) >= self.cfg.inj_queue_pkts:
+            if not self.make_bubble(now):
+                # Every entry is a previously bounced packet; grow the queue
+                # by one — physically this is the green-path slot freed by a
+                # departing FastPass-Packet (Qn 2, scenario 2).
+                pass
+        pkt.rejected = True
+        pkt.invalidate_route()
+        q.appendleft(pkt)
+
+    # -- introspection ------------------------------------------------------
+    def inj_occupancy(self) -> int:
+        return sum(len(q) for q in self.inj)

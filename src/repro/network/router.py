@@ -1,0 +1,179 @@
+"""The baseline credit-based virtual-cut-through router.
+
+Pipeline model (Table II): 1-cycle router + 1-cycle link.  Each input port
+has ``n_vns * n_vcs`` VC slots, each holding a single packet (VCT).  Switch
+allocation is a single rotating pass over the occupied slots: each ready
+head packet claims the first available candidate move (output port free,
+no FastFlow reservation conflict, downstream VC credit available).  Output
+ports are granted at most once per cycle; serialization keeps a port busy
+for ``size`` cycles per packet.
+"""
+
+from __future__ import annotations
+
+from repro.network.link import VCSlot
+from repro.network.topology import PORT_LOCAL
+
+INF = 1 << 60
+
+
+class Router:
+    """Baseline router; schemes subclass and override the small hooks
+    (:meth:`moves`, :meth:`step` for radically different datapaths)."""
+
+    def __init__(self, rid: int, mesh, cfg, net):
+        self.id = rid
+        self.mesh = mesh
+        self.cfg = cfg
+        self.net = net
+        self.n_ports = 5
+        self.n_vcs_total = cfg.total_vcs
+        self.slots = [
+            [VCSlot(p, v) for v in range(self.n_vcs_total)]
+            for p in range(self.n_ports)
+        ]
+        #: occupied VC slots (lazily pruned each cycle)
+        self.occupied: list[VCSlot] = []
+        self.links_out = [None] * self.n_ports     # Link per output port
+        self.neighbors = [None] * self.n_ports     # Router per output port
+        self.eject_busy_until = 0
+        # A crossbar reads one flit per input port per cycle: after a grant
+        # the input port streams the packet for ``size`` cycles.  (FastFlow
+        # traversals use the dedicated D0/M2 bypass path of Fig. 6 and are
+        # exempt.)
+        self.in_busy = [0] * self.n_ports
+        self.rr = rid  # rotating arbitration offset
+        self.routing_fn = net.routing_fn
+        # Per-VN VC index ranges; a single "VN" (FastPass, Pitstop) shares
+        # all VCs among every message class.
+        if cfg.n_vns > 1:
+            self._vn_vcs = [
+                tuple(range(vn * cfg.n_vcs, (vn + 1) * cfg.n_vcs))
+                for vn in range(cfg.n_vns)
+            ]
+        else:
+            all_vcs = tuple(range(self.n_vcs_total))
+            self._vn_vcs = [all_vcs] * 6
+
+    # -- hooks ----------------------------------------------------------
+    def moves(self, pkt) -> tuple:
+        """Candidate moves for ``pkt`` at this router, as a tuple of
+        ``(out_port, downstream_vc_indices)`` pairs.  Cached on the packet
+        until it moves."""
+        cached = pkt.route_cache(self.id)
+        if cached is not None:
+            return cached
+        outs = self.routing_fn(self.mesh, self.id, pkt.dst)
+        vcs = self._vn_vcs[pkt.vn]
+        mv = tuple((o, vcs) for o in outs)
+        pkt.set_route_cache(self.id, mv)
+        return mv
+
+    def vn_vcs(self, vn: int) -> tuple:
+        return self._vn_vcs[vn]
+
+    # -- switch allocation ------------------------------------------------
+    def step(self, now: int) -> None:
+        occ = self.occupied
+        n = len(occ)
+        if n == 0:
+            return
+        taken = 0  # bitmask of output ports granted this cycle
+        survivors = []
+        start = self.rr % n
+        self.rr += 1
+        order = range(start, n + start)
+        net = self.net
+        for i in order:
+            slot = occ[i - n] if i >= n else occ[i]
+            pkt = slot.pkt
+            if pkt is None:
+                continue
+            if slot.ready_at > now or self.in_busy[slot.port] > now:
+                survivors.append(slot)
+                continue
+            mv = self.moves(pkt)
+            if mv and mv[0][0] == PORT_LOCAL:
+                if self._try_eject(slot, pkt, now):
+                    continue
+                survivors.append(slot)
+                continue
+            moved = False
+            for out, vcs in mv:
+                bit = 1 << out
+                if taken & bit:
+                    continue
+                link = self.links_out[out]
+                if link is None or link.busy_until > now:
+                    continue
+                link.prune(now)
+                if link.fp_windows and link.fp_conflict(now, now + pkt.size):
+                    continue
+                dslot = self._claim_downstream(link, vcs, now)
+                if dslot is None:
+                    continue
+                self._transfer(slot, pkt, link, dslot, now)
+                taken |= bit
+                moved = True
+                break
+            if not moved:
+                survivors.append(slot)
+        self.occupied = survivors
+        if taken:
+            net.last_progress = now
+
+    # -- helpers ----------------------------------------------------------
+    def _claim_downstream(self, link, vcs, now: int):
+        dslots = self.neighbors[link.src_port].slots[link.dst_port]
+        for vc in vcs:
+            s = dslots[vc]
+            if s.pkt is None and s.free_at <= now:
+                return s
+        return None
+
+    def _transfer(self, slot, pkt, link, dslot, now: int) -> None:
+        cfg = self.cfg
+        dslot.pkt = pkt
+        dslot.ready_at = now + cfg.router_latency + cfg.link_latency
+        dslot.free_at = INF
+        nbr = self.neighbors[link.src_port]
+        nbr.occupied.append(dslot)
+        slot.pkt = None
+        slot.free_at = now + pkt.size + 1  # tail drain + credit return
+        self.in_busy[slot.port] = now + pkt.size
+        link.start_transfer(now, pkt.size, dslot, slot)
+        pkt.hops += 1
+        pkt.invalidate_route()
+
+    def _try_eject(self, slot, pkt, now: int) -> bool:
+        if self.eject_busy_until > now:
+            return False
+        ni = self.net.nis[self.id]
+        if not ni.can_eject(pkt, now):
+            return False
+        self.eject_busy_until = now + pkt.size
+        slot.pkt = None
+        slot.free_at = now + pkt.size + 1
+        self.in_busy[slot.port] = now + pkt.size
+        ni.eject(pkt, now)
+        self.net.last_progress = now
+        return True
+
+    # -- introspection (watchdog, SPIN, SWAP) ------------------------------
+    def blocked_heads(self, now: int, threshold: int):
+        """Occupied slots whose head has been ready but unable to move for
+        at least ``threshold`` cycles."""
+        out = []
+        for slot in self.occupied:
+            pkt = slot.pkt
+            if pkt is not None and now - slot.ready_at >= threshold:
+                out.append(slot)
+        return out
+
+    def free_vc_count(self, port: int, now: int) -> int:
+        return sum(1 for s in self.slots[port] if s.is_free(now))
+
+    def extra_occupancy(self) -> int:
+        """Packets held outside the regular VC slots (e.g. MinBD's side
+        buffer); used by the conservation accounting."""
+        return 0

@@ -1,0 +1,108 @@
+"""Routing functions.
+
+Every routing function has the signature ``route(mesh, rid, dst) -> tuple``
+returning the candidate output ports at router ``rid`` for a packet headed
+to ``dst`` (``PORT_LOCAL`` alone when ``rid == dst``).  All routing here is
+minimal; misrouting baselines (SWAP/DRAIN/MinBD) misroute through their own
+mechanisms, not through the routing function.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import (
+    Mesh,
+    PORT_E,
+    PORT_LOCAL,
+    PORT_N,
+    PORT_S,
+    PORT_W,
+)
+
+LOCAL_ONLY = (PORT_LOCAL,)
+
+
+def productive_ports(mesh: Mesh, rid: int, dst: int) -> tuple[int, ...]:
+    """All minimal (productive) directions."""
+    if rid == dst:
+        return LOCAL_ONLY
+    x, y = mesh.xy(rid)
+    dx, dy = mesh.xy(dst)
+    outs = []
+    if dx > x:
+        outs.append(PORT_E)
+    elif dx < x:
+        outs.append(PORT_W)
+    if dy > y:
+        outs.append(PORT_N)
+    elif dy < y:
+        outs.append(PORT_S)
+    return tuple(outs)
+
+
+def route_xy(mesh: Mesh, rid: int, dst: int) -> tuple[int, ...]:
+    """Dimension-ordered XY routing (X first).  Deadlock-free."""
+    if rid == dst:
+        return LOCAL_ONLY
+    x, y = mesh.xy(rid)
+    dx, dy = mesh.xy(dst)
+    if dx > x:
+        return (PORT_E,)
+    if dx < x:
+        return (PORT_W,)
+    if dy > y:
+        return (PORT_N,)
+    return (PORT_S,)
+
+
+def route_yx(mesh: Mesh, rid: int, dst: int) -> tuple[int, ...]:
+    """Dimension-ordered YX routing (Y first).  Deadlock-free."""
+    if rid == dst:
+        return LOCAL_ONLY
+    x, y = mesh.xy(rid)
+    dx, dy = mesh.xy(dst)
+    if dy > y:
+        return (PORT_N,)
+    if dy < y:
+        return (PORT_S,)
+    if dx > x:
+        return (PORT_E,)
+    return (PORT_W,)
+
+
+def route_adaptive(mesh: Mesh, rid: int, dst: int) -> tuple[int, ...]:
+    """Fully adaptive minimal routing: any productive direction.
+
+    Permits all turns, so cyclic channel dependences — and thus
+    network-level deadlock — are possible; the schemes under study must
+    provide the escape mechanism.
+    """
+    return productive_ports(mesh, rid, dst)
+
+
+def route_west_first(mesh: Mesh, rid: int, dst: int) -> tuple[int, ...]:
+    """West-first turn-model routing (Glass & Ni): if the destination is to
+    the West, go West first (deterministically); otherwise route adaptively
+    among the remaining productive (non-West) directions.  Deadlock-free.
+    """
+    if rid == dst:
+        return LOCAL_ONLY
+    x, y = mesh.xy(rid)
+    dx, dy = mesh.xy(dst)
+    if dx < x:
+        return (PORT_W,)
+    outs = []
+    if dx > x:
+        outs.append(PORT_E)
+    if dy > y:
+        outs.append(PORT_N)
+    elif dy < y:
+        outs.append(PORT_S)
+    return tuple(outs)
+
+
+ROUTERS = {
+    "xy": route_xy,
+    "yx": route_yx,
+    "adaptive": route_adaptive,
+    "west_first": route_west_first,
+}

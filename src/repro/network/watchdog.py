@@ -1,0 +1,97 @@
+"""Deadlock watchdog and wait-for-graph analysis.
+
+The watchdog declares a run deadlocked when no packet has made forward
+progress for ``watchdog_cycles`` while packets remain in flight.  The
+wait-for graph analysis (used by the SPIN baseline's detection/recovery and
+by tests) finds a cycle of head packets each blocked on a VC held by the
+next.
+"""
+
+from __future__ import annotations
+
+
+def find_blocked_cycle(net, now: int, min_blocked: int = 1):
+    """Find a cycle in the wait-for graph of blocked head packets.
+
+    Nodes are occupied VC slots whose head packet has been unable to move
+    for at least ``min_blocked`` cycles; an edge goes from a slot to every
+    occupied slot in a (port, VC) it is waiting on.  Returns the cycle as a
+    list of (router_id, slot) pairs, or None.
+    """
+    # Build adjacency: slot -> blocking slots.
+    nodes = {}
+    for router in net.routers:
+        for slot in router.occupied:
+            pkt = slot.pkt
+            if pkt is None or now - slot.ready_at < min_blocked:
+                continue
+            mv = router.moves(pkt)
+            if mv and mv[0][0] == 0:      # waiting on ejection, not a VC
+                continue
+            blockers = []
+            for out, vcs in mv:
+                nbr = router.neighbors[out]
+                if nbr is None:
+                    continue
+                link = router.links_out[out]
+                dslots = nbr.slots[link.dst_port]
+                for vc in vcs:
+                    s = dslots[vc]
+                    if s.pkt is not None:
+                        blockers.append((nbr.id, s))
+            if blockers:
+                nodes[(router.id, id(slot))] = ((router.id, slot), blockers)
+
+    # Iterative DFS for a cycle.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {k: WHITE for k in nodes}
+    for root in nodes:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(nodes[root][1]))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            key, it = stack[-1]
+            advanced = False
+            for (rid, s) in it:
+                nkey = (rid, id(s))
+                if nkey not in nodes:
+                    continue
+                if color[nkey] == GREY:
+                    # Found a cycle: slice the current path.
+                    idx = path.index(nkey)
+                    return [nodes[k][0] for k in path[idx:]]
+                if color[nkey] == WHITE:
+                    color[nkey] = GREY
+                    stack.append((nkey, iter(nodes[nkey][1])))
+                    path.append(nkey)
+                    advanced = True
+                    break
+            if not advanced:
+                color[key] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+class Watchdog:
+    """Global forward-progress monitor."""
+
+    def __init__(self, net, threshold: int):
+        self.net = net
+        self.threshold = threshold
+        self.deadlocked = False
+        self.fired_at = -1
+
+    def check(self, now: int) -> bool:
+        net = self.net
+        if now - net.last_progress < self.threshold:
+            return False
+        if not net.packets_in_flight():
+            net.last_progress = now
+            return False
+        self.deadlocked = True
+        if self.fired_at < 0:
+            self.fired_at = now
+        return True

@@ -1,0 +1,6 @@
+"""Analytical router power/area model (the Fig. 11 substitute)."""
+
+from repro.power.model import RouterCost, scheme_cost, COMPONENTS
+from repro.power.report import area_power_table
+
+__all__ = ["RouterCost", "scheme_cost", "COMPONENTS", "area_power_table"]

@@ -1,0 +1,48 @@
+"""Fig. 11 report: per-scheme area/power breakdown table."""
+
+from __future__ import annotations
+
+from repro.power.model import RouterCost, scheme_cost
+
+#: the configurations compared in Fig. 11
+FIG11_CONFIGS = [
+    ("escapevc", 6, 2),
+    ("spin", 6, 2),
+    ("swap", 6, 2),
+    ("drain", 6, 2),
+    ("pitstop", 1, 2),
+    ("fastpass", 1, 2),
+]
+
+
+def area_power_table(configs=None) -> list[dict]:
+    """Rows of the Fig. 11 comparison (one per scheme configuration)."""
+    rows = []
+    baseline: RouterCost | None = None
+    for scheme, vns, vcs in (configs or FIG11_CONFIGS):
+        cost = scheme_cost(scheme, vns, vcs)
+        if baseline is None:
+            baseline = cost
+        rows.append({
+            "scheme": scheme,
+            "vns": 0 if vns == 1 else vns,
+            "vcs": vcs,
+            "area_um2": cost.area,
+            "power_uw": cost.power,
+            "area_breakdown": cost.area_breakdown(),
+            "power_breakdown": cost.power_breakdown(),
+            "area_vs_escape": cost.area / baseline.area,
+            "power_vs_escape": cost.power / baseline.power,
+        })
+    return rows
+
+
+def format_table(rows) -> str:
+    out = [f"{'scheme':<10} {'VN':>3} {'VC':>3} {'area µm²':>12} "
+           f"{'power µW':>12} {'area/Esc':>9} {'pwr/Esc':>9}"]
+    for r in rows:
+        out.append(
+            f"{r['scheme']:<10} {r['vns']:>3} {r['vcs']:>3} "
+            f"{r['area_um2']:>12,.0f} {r['power_uw']:>12,.0f} "
+            f"{r['area_vs_escape']:>9.2f} {r['power_vs_escape']:>9.2f}")
+    return "\n".join(out)

@@ -1,0 +1,15 @@
+"""Flow-control / deadlock-freedom schemes: the paper's comparison set."""
+
+from repro.schemes.base import Scheme, SCHEMES, get_scheme, scheme_names
+
+__all__ = ["Scheme", "SCHEMES", "get_scheme", "scheme_names"]
+
+
+def _register_all() -> None:
+    """Import every scheme module so registration side effects run."""
+    from repro.schemes import (  # noqa: F401
+        escapevc, spin, swap, drain, pitstop, minbd, tfc, fastpass, seec,
+    )
+
+
+_register_all()

@@ -1,0 +1,82 @@
+"""EscapeVC baseline (Duato): per-VN escape virtual channel.
+
+Within each of the 6 virtual networks, VC 0 is the *escape* channel routed
+west-first (deadlock-free turn model) and the remaining VCs are fully
+adaptive (Table II).  A packet may always fall back from an adaptive VC
+into the escape VC; once in the escape subnetwork it stays there — the
+classic Duato construction, so the scheme is network-deadlock-free but
+offers no full path diversity inside the escape channel and still needs
+all 6 VNs against protocol deadlock.
+"""
+
+from __future__ import annotations
+
+from repro.network.router import Router
+from repro.network.routing import route_adaptive, route_west_first
+from repro.network.topology import PORT_LOCAL
+from repro.schemes.base import Scheme, Table1Row, register
+
+LOCAL_MOVE = ((PORT_LOCAL, ()),)
+
+
+class EscapeVCRouter(Router):
+    """Router whose candidate moves depend on the current VC class."""
+
+    def moves(self, pkt, slot=None) -> tuple:
+        cached = pkt.route_cache(self.id)
+        if cached is not None:
+            return cached
+        if pkt.dst == self.id:
+            pkt.set_route_cache(self.id, LOCAL_MOVE)
+            return LOCAL_MOVE
+        n_vcs = self.cfg.n_vcs
+        esc = pkt.vn * n_vcs                    # escape VC of this VN
+        in_escape = slot is not None and slot.vc == esc
+        wf = route_west_first(self.mesh, self.id, pkt.dst)
+        esc_moves = tuple((o, (esc,)) for o in wf)
+        if in_escape:
+            mv = esc_moves
+        else:
+            normal = tuple(range(esc + 1, esc + n_vcs))
+            ad = route_adaptive(self.mesh, self.id, pkt.dst)
+            mv = tuple((o, normal) for o in ad) + esc_moves
+        pkt.set_route_cache(self.id, mv)
+        return mv
+
+    def vn_vcs(self, vn: int) -> tuple:
+        # Injection prefers the adaptive VCs; the escape VC is last resort.
+        esc = vn * self.cfg.n_vcs
+        return tuple(range(esc + 1, esc + self.cfg.n_vcs)) + (esc,)
+
+    def step(self, now: int) -> None:
+        # The base step calls moves(pkt); EscapeVC needs the slot too, so
+        # we pre-warm the per-packet cache with slot knowledge here.
+        for slot in self.occupied:
+            pkt = slot.pkt
+            if pkt is not None and pkt.route_cache(self.id) is None:
+                self.moves(pkt, slot)
+        super().step(now)
+
+
+@register
+class EscapeVC(Scheme):
+    name = "escapevc"
+    routing = "adaptive"   # unused: the router computes its own moves
+    router_cls = EscapeVCRouter
+    n_vns = 6
+    n_vcs = 2
+
+    table1 = Table1Row(
+        no_detection=True,
+        protocol_deadlock_freedom=False,
+        network_deadlock_freedom=True,
+        full_path_diversity=False,   # none within the escape VC
+        high_throughput=False,
+        low_power=False,             # needs multiple VNs
+        scalability=True,
+        no_misrouting=True,
+    )
+
+    @property
+    def label(self) -> str:
+        return f"EscapeVC(VN={self.n_vns}, VC={self.n_vcs})"

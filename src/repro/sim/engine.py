@@ -1,0 +1,94 @@
+"""Simulation assembly and execution.
+
+Two run modes:
+
+* :meth:`Simulation.run` — open-loop synthetic runs with warmup /
+  measurement / drain windows; returns a :class:`~repro.config.RunResult`.
+* :meth:`Simulation.run_to_completion` — closed-loop application runs
+  (coherence traffic); executes until every transaction retires or a cycle
+  cap / deadlock stops it.
+"""
+
+from __future__ import annotations
+
+from repro.config import RunResult, SimConfig
+from repro.network.network import Network
+from repro.network.routing import ROUTERS
+from repro.network.topology import Mesh
+
+
+def build_network(cfg: SimConfig, scheme) -> Network:
+    """Construct a network configured for ``scheme``."""
+    cfg = scheme.configure(cfg)
+    mesh = Mesh(cfg.rows, cfg.cols)
+    net = Network(cfg, mesh, ROUTERS[scheme.routing],
+                  router_cls=scheme.router_cls, scheme=scheme)
+    scheme.build(net)
+    return net
+
+
+class Simulation:
+    """One (scheme, traffic, config) run."""
+
+    def __init__(self, cfg: SimConfig, scheme, traffic):
+        self.scheme = scheme
+        self.net = build_network(cfg, scheme)
+        self.cfg = self.net.cfg
+        self.traffic = traffic
+        traffic.bind(self.net)
+        self.net.traffic = traffic
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Open-loop run: warmup, measure, drain; aggregate statistics."""
+        cfg = self.cfg
+        net = self.net
+        stats = net.stats
+        t0 = cfg.warmup_cycles
+        t1 = t0 + cfg.measure_cycles
+        self.traffic.measure_window(t0, t1)
+        stats.measure_start, stats.measure_end = t0, t1
+
+        net.run(t1)
+        # Drain: give measured packets a chance to arrive.
+        deadline = net.cycle + cfg.drain_cycles
+        while (net.cycle < deadline
+               and stats.ejected_measured < self.traffic.measured_generated
+               and not net.watchdog.deadlocked):
+            net.step()
+        return self._result()
+
+    def run_to_completion(self, max_cycles: int) -> RunResult:
+        """Closed-loop run: execute until the traffic reports completion."""
+        net = self.net
+        self.traffic.measure_window(0, 1 << 60)
+        net.stats.measure_start, net.stats.measure_end = 0, 1 << 60
+        while (net.cycle < max_cycles and not self.traffic.done()
+               and not net.watchdog.deadlocked):
+            net.step()
+        return self._result()
+
+    # ------------------------------------------------------------------
+    def _result(self) -> RunResult:
+        net = self.net
+        cfg = self.cfg
+        stats = net.stats
+        res = RunResult(scheme=self.scheme.label)
+        res.injected = stats.injected
+        res.ejected = stats.ejected_total
+        res.dropped = stats.dropped
+        res.fastpass_delivered = stats.fastpass_delivered
+        res.regular_delivered = stats.regular_delivered
+        res.avg_latency = stats.avg_latency()
+        res.p99_latency = stats.p99_latency()
+        res.throughput = stats.throughput(cfg.n_routers, cfg.measure_cycles)
+        res.deadlocked = net.watchdog.deadlocked
+        res.cycles = net.cycle
+        res.fp_buffered_time = stats.mean(stats.fp_buffered)
+        res.fp_bufferless_time = stats.mean(stats.fp_bufferless)
+        res.reg_latency = stats.mean(stats.reg_latencies)
+        res.extra["measured_generated"] = getattr(
+            self.traffic, "measured_generated", 0)
+        res.extra["undelivered"] = (res.extra["measured_generated"]
+                                    - stats.ejected_measured)
+        return res

@@ -1,0 +1,73 @@
+"""Link-utilization analysis.
+
+Links count the flit-cycles they carry, split between regular traffic and
+FastFlow lane traffic; this module turns those counters into utilization
+maps — the data behind the paper's "FastPass-Packets bypass congested
+areas" argument and a handy congestion-debugging tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    src: int
+    dst: int
+    regular: float     # fraction of cycles carrying regular flits
+    fastflow: float    # fraction of cycles reserved by FastFlow
+
+    @property
+    def total(self) -> float:
+        return self.regular + self.fastflow
+
+
+def utilization(net, cycles: int | None = None) -> list[LinkUtilization]:
+    """Per-link utilization over the run so far (or ``cycles``)."""
+    span = cycles if cycles is not None else max(1, net.cycle)
+    out = []
+    for link in net.links:
+        out.append(LinkUtilization(
+            src=link.src, dst=link.dst,
+            regular=link.util_flits / span,
+            fastflow=link.fp_flits / span))
+    return out
+
+
+def hotspots(net, top: int = 5) -> list[LinkUtilization]:
+    """The ``top`` most loaded links."""
+    return sorted(utilization(net), key=lambda u: u.total,
+                  reverse=True)[:top]
+
+
+def summary(net) -> dict:
+    """Aggregate network-wide utilization figures."""
+    utils = utilization(net)
+    if not utils:
+        return {"mean": 0.0, "max": 0.0, "fastflow_share": 0.0}
+    totals = [u.total for u in utils]
+    ff = sum(u.fastflow for u in utils)
+    reg = sum(u.regular for u in utils)
+    return {
+        "mean": sum(totals) / len(totals),
+        "max": max(totals),
+        "fastflow_share": ff / (ff + reg) if (ff + reg) else 0.0,
+    }
+
+
+def format_heatmap(net) -> str:
+    """ASCII heatmap of per-router output-link load (mesh only)."""
+    mesh = net.mesh
+    rows = []
+    for y in reversed(range(mesh.rows)):
+        cells = []
+        for x in range(mesh.cols):
+            rid = mesh.rid(x, y)
+            links = [l for l in net.routers[rid].links_out if l is not None]
+            span = max(1, net.cycle)
+            load = sum((l.util_flits + l.fp_flits) / span for l in links)
+            load /= max(1, len(links))
+            cells.append(f"{load:4.2f}")
+        rows.append(" ".join(cells))
+    return "\n".join(rows)

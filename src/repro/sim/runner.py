@@ -1,0 +1,81 @@
+"""High-level experiment runners: latency sweeps and saturation search."""
+
+from __future__ import annotations
+
+from repro.config import RunResult, SimConfig
+from repro.schemes.base import Scheme, get_scheme
+from repro.sim.engine import Simulation
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+def run_point(scheme: Scheme | str, pattern: str, rate: float,
+              cfg: SimConfig, seed: int | None = None) -> RunResult:
+    """One (scheme, pattern, injection-rate) simulation."""
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    traffic = SyntheticTraffic(pattern, rate,
+                               seed=cfg.seed if seed is None else seed)
+    sim = Simulation(cfg, scheme, traffic)
+    res = sim.run()
+    res.extra["rate"] = rate
+    res.extra["pattern"] = pattern
+    return res
+
+
+def sweep_latency(scheme: Scheme | str, pattern: str, rates,
+                  cfg: SimConfig) -> list[RunResult]:
+    """Latency-vs-injection-rate curve (Fig. 7 style).
+
+    The sweep stops early once a point saturates badly (deadlocked or a
+    large undelivered backlog) — further points would only be slower to
+    simulate and equally saturated, matching how the paper's curves simply
+    leave the plot range.
+    """
+    out = []
+    for rate in rates:
+        if isinstance(scheme, str):
+            res = run_point(get_scheme(scheme), pattern, rate, cfg)
+        else:
+            res = run_point(scheme, pattern, rate, cfg)
+        out.append(res)
+        gen = max(1, res.extra["measured_generated"])
+        if res.deadlocked or res.extra["undelivered"] > 0.5 * gen:
+            break
+    return out
+
+
+def is_saturated(res: RunResult, zero_load: float) -> bool:
+    """Standard criterion: saturation when average latency exceeds 3x the
+    zero-load latency (or the run failed to drain / deadlocked)."""
+    if res.deadlocked:
+        return True
+    gen = max(1, res.extra["measured_generated"])
+    if res.extra["undelivered"] > 0.25 * gen:
+        return True
+    return res.avg_latency != res.avg_latency or \
+        res.avg_latency > 3.0 * zero_load
+
+
+def saturation_throughput(scheme: Scheme | str, pattern: str,
+                          cfg: SimConfig, lo: float = 0.01, hi: float = 0.7,
+                          iters: int = 7) -> float:
+    """Binary search for the saturation injection rate of a scheme.
+
+    Returns the highest tested rate that was still below saturation
+    (packets/node/cycle).
+    """
+    if isinstance(scheme, str):
+        scheme = get_scheme(scheme)
+    zero = run_point(scheme, pattern, lo, cfg).avg_latency
+    if zero != zero:  # zero-load run produced no packets: widen
+        zero = 50.0
+    if not is_saturated(run_point(scheme, pattern, hi, cfg), zero):
+        return hi
+    good = lo
+    for _ in range(iters):
+        mid = 0.5 * (good + hi)
+        if is_saturated(run_point(scheme, pattern, mid, cfg), zero):
+            hi = mid
+        else:
+            good = mid
+    return good

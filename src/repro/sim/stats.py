@@ -1,0 +1,77 @@
+"""Statistics collection.
+
+Latency samples are recorded at ejection time for packets generated inside
+the measurement window (``pkt.measured``).  FastPass-Packets additionally
+split their latency into *buffered* (regular) time before the upgrade and
+*bufferless* (FastFlow) time after it — the breakdown of Fig. 9.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def percentile(sorted_vals, q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted sequence."""
+    if not sorted_vals:
+        return float("nan")
+    k = max(0, min(len(sorted_vals) - 1,
+                   math.ceil(q / 100.0 * len(sorted_vals)) - 1))
+    return float(sorted_vals[k])
+
+
+class StatsCollector:
+    """Per-run counters and latency samples."""
+
+    def __init__(self):
+        self.injected = 0
+        self.ejected_total = 0
+        self.ejected_measured = 0
+        self.dropped = 0
+        self.fastpass_delivered = 0
+        self.regular_delivered = 0
+        self.latencies: list[int] = []
+        self.reg_latencies: list[int] = []
+        self.fp_buffered: list[int] = []
+        self.fp_bufferless: list[int] = []
+        self.measure_start = 0
+        self.measure_end = 1 << 60
+        self.per_class_ejected = [0] * 6
+
+    # ------------------------------------------------------------------
+    def record_ejected(self, pkt) -> None:
+        self.ejected_total += 1
+        self.per_class_ejected[pkt.mclass] += 1
+        if pkt.was_fastpass:
+            self.fastpass_delivered += 1
+        else:
+            self.regular_delivered += 1
+        if not pkt.measured:
+            return
+        self.ejected_measured += 1
+        lat = pkt.eject_cycle - pkt.gen_cycle
+        self.latencies.append(lat)
+        if pkt.was_fastpass:
+            buffered = pkt.fp_upgrade - pkt.gen_cycle
+            self.fp_buffered.append(buffered)
+            self.fp_bufferless.append(lat - buffered)
+        else:
+            self.reg_latencies.append(lat)
+
+    # -- summaries -------------------------------------------------------
+    def avg_latency(self) -> float:
+        if not self.latencies:
+            return float("nan")
+        return sum(self.latencies) / len(self.latencies)
+
+    def p99_latency(self) -> float:
+        return percentile(sorted(self.latencies), 99.0)
+
+    def mean(self, vals) -> float:
+        return sum(vals) / len(vals) if vals else float("nan")
+
+    def throughput(self, n_nodes: int, cycles: int) -> float:
+        """Measured-window ejections per node per cycle."""
+        if cycles <= 0:
+            return 0.0
+        return self.ejected_measured / (n_nodes * cycles)

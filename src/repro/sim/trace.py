@@ -1,0 +1,110 @@
+"""Per-packet event tracing.
+
+Attach a :class:`PacketTracer` to a network to record a timeline of what
+happened to each packet — generation, injection, per-hop transfers,
+FastFlow upgrades, bounces, drops, ejection.  Intended for debugging and
+for the examples; the hot simulation paths stay trace-free unless a tracer
+is attached (the hooks monkey-patch the stats collector and NI methods of
+one specific network instance).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    cycle: int
+    kind: str        # generated | injected | ejected | upgraded | bounced
+    #                | dropped | regenerated
+    detail: str = ""
+
+
+class PacketTracer:
+    """Records per-packet timelines for one network."""
+
+    def __init__(self, net, max_packets: int = 100000):
+        self.net = net
+        self.max_packets = max_packets
+        self.events: dict[int, list[TraceEvent]] = defaultdict(list)
+        self._install(net)
+
+    # ------------------------------------------------------------------
+    def record(self, pid: int, cycle: int, kind: str,
+               detail: str = "") -> None:
+        if len(self.events) >= self.max_packets and pid not in self.events:
+            return
+        self.events[pid].append(TraceEvent(cycle, kind, detail))
+
+    def timeline(self, pid: int) -> list[TraceEvent]:
+        return list(self.events.get(pid, ()))
+
+    def format_timeline(self, pid: int) -> str:
+        lines = [f"packet {pid}:"]
+        for ev in self.timeline(pid):
+            lines.append(f"  @{ev.cycle:>7} {ev.kind:<12} {ev.detail}")
+        return "\n".join(lines)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for evs in self.events.values():
+            for ev in evs:
+                out[ev.kind] += 1
+        return dict(out)
+
+    # ------------------------------------------------------------------
+    def _install(self, net) -> None:
+        tracer = self
+
+        stats = net.stats
+        orig_record = stats.record_ejected
+
+        def record_ejected(pkt):
+            tracer.record(pkt.pid, pkt.eject_cycle, "ejected",
+                          f"dst={pkt.dst} fastpass={pkt.was_fastpass}")
+            orig_record(pkt)
+
+        stats.record_ejected = record_ejected
+
+        for ni in net.nis:
+            self._install_ni(ni)
+
+        mgr = getattr(net, "fastpass", None)
+        if mgr is not None:
+            orig_launch = mgr.engine.launch_forward
+
+            def launch(pkt, prime, now, _orig=orig_launch):
+                tracer.record(pkt.pid, now, "upgraded",
+                              f"prime={prime} dst={pkt.dst}")
+                return _orig(pkt, prime, now)
+
+            mgr.engine.launch_forward = launch
+
+    def _install_ni(self, ni) -> None:
+        tracer = self
+        orig_source = ni.source
+
+        def source(pkt, _orig=orig_source):
+            tracer.record(pkt.pid, pkt.gen_cycle, "generated",
+                          f"{pkt.src}->{pkt.dst} cls={pkt.mclass}")
+            _orig(pkt)
+
+        ni.source = source
+
+        orig_bounced = ni.accept_bounced
+
+        def accept_bounced(pkt, now, _orig=orig_bounced):
+            tracer.record(pkt.pid, now, "bounced", f"prime={ni.id}")
+            _orig(pkt, now)
+
+        ni.accept_bounced = accept_bounced
+
+        orig_regen = ni._regenerate
+
+        def regenerate(now, pkt, _orig=orig_regen):
+            tracer.record(pkt.pid, now, "regenerated", "")
+            _orig(now, pkt)
+
+        ni._regenerate = regenerate

@@ -1,0 +1,13 @@
+"""Traffic models: synthetic patterns, coherence transactions, workloads."""
+
+from repro.traffic.synthetic import SyntheticTraffic, PATTERNS
+from repro.traffic.coherence import CoherenceTraffic
+from repro.traffic.workloads import WORKLOADS, workload_traffic
+
+__all__ = [
+    "SyntheticTraffic",
+    "PATTERNS",
+    "CoherenceTraffic",
+    "WORKLOADS",
+    "workload_traffic",
+]

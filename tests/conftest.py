@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.network.network import Network
+from repro.network.packet import Packet
+from repro.network.routing import ROUTERS
+from repro.network.topology import Mesh
+
+
+@pytest.fixture(autouse=True)
+def _reset_pid_counter():
+    """Keep packet ids deterministic per test."""
+    Packet._next_pid = 0
+    yield
+
+
+@pytest.fixture
+def small_cfg() -> SimConfig:
+    """4x4 mesh with short windows and a small FastPass slot: fast tests."""
+    return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=400,
+                     drain_cycles=1200, watchdog_cycles=800,
+                     fastpass_slot_cycles=64)
+
+
+@pytest.fixture
+def mesh4() -> Mesh:
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def mesh8() -> Mesh:
+    return Mesh(8, 8)
+
+
+def make_network(cfg: SimConfig, routing: str = "xy",
+                 scheme=None) -> Network:
+    """A bare network with no scheme hooks (for unit tests)."""
+    mesh = Mesh(cfg.rows, cfg.cols)
+    router_cls = scheme.router_cls if scheme else None
+    if scheme is not None:
+        cfg = scheme.configure(cfg)
+        net = Network(cfg, mesh, ROUTERS[scheme.routing],
+                      router_cls=router_cls, scheme=scheme)
+        scheme.build(net)
+        return net
+    return Network(cfg, mesh, ROUTERS[routing])
+
+
+def drain_packet(net: Network, pkt: Packet, max_cycles: int = 5000) -> bool:
+    """Step the network until ``pkt`` is ejected (or give up)."""
+    for _ in range(max_cycles):
+        if pkt.eject_cycle >= 0:
+            return True
+        net.step()
+    return pkt.eject_cycle >= 0
+
+
+def inject_now(net: Network, src: int, dst: int, mclass: int = 0,
+               size: int | None = None) -> Packet:
+    """Hand a packet straight to the source NI."""
+    pkt = Packet(src, dst, mclass, net.cycle, size=size)
+    net.nis[src].source(pkt)
+    return pkt

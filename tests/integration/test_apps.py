@@ -1,0 +1,68 @@
+"""Integration: the application-workload pipeline (Fig. 10/12/13(b)
+substrate) across schemes."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.traffic.workloads import WORKLOADS, workload_traffic
+
+APP_SCHEMES = ["escapevc", "spin", "swap", "drain", "pitstop", "tfc",
+               "fastpass"]
+
+
+def run_app(scheme, bench="Volrend", txns=60, **kw):
+    cfg = SimConfig(rows=4, cols=4)
+    traffic = workload_traffic(bench, txns_per_core=txns, seed=2)
+    sim = Simulation(cfg, get_scheme(scheme, **kw), traffic)
+    res = sim.run_to_completion(max_cycles=300000)
+    return sim, res
+
+
+class TestAllSchemesRunApps:
+    @pytest.mark.parametrize("scheme", APP_SCHEMES)
+    def test_light_workload_completes(self, scheme):
+        kw = {"n_vcs": 2} if scheme == "fastpass" else {}
+        sim, res = run_app(scheme, "Volrend", **kw)
+        assert sim.traffic.done()
+        assert not res.deadlocked
+
+    @pytest.mark.parametrize("bench", sorted(WORKLOADS))
+    def test_fastpass_completes_every_benchmark(self, bench):
+        sim, res = run_app("fastpass", bench, n_vcs=2)
+        assert sim.traffic.done()
+        assert not res.deadlocked
+
+
+class TestWorkloadCharacter:
+    def test_heavy_benchmarks_produce_higher_latency(self):
+        _s_hot, hot = run_app("escapevc", "Radix", txns=80)
+        _s_cold, cold = run_app("escapevc", "Volrend", txns=80)
+        assert hot.avg_latency > cold.avg_latency
+
+    def test_execution_time_scales_with_think_time(self):
+        _s1, fast = run_app("escapevc", "Radix", txns=40)
+        _s2, slow = run_app("escapevc", "Lu_cb", txns=40)
+        assert slow.cycles > fast.cycles
+
+    def test_hotspot_benchmark_has_higher_tail(self):
+        _s1, hs = run_app("escapevc", "Streamcluster", txns=80)
+        _s2, no = run_app("escapevc", "Volrend", txns=80)
+        assert hs.p99_latency >= no.p99_latency
+
+
+class TestClosedLoopProperties:
+    def test_latency_stats_cover_all_classes(self):
+        sim, res = run_app("fastpass", "Barnes", n_vcs=2)
+        counts = sim.net.stats.per_class_ejected
+        assert counts[0] > 0 and counts[1] > 0      # REQ and RESP
+
+    def test_fastpass_upgrades_occur_in_apps(self):
+        sim, _res = run_app("fastpass", "Radix", txns=80, n_vcs=2)
+        assert sim.net.fastpass.upgrades > 0
+
+    def test_result_cycles_equals_completion_time(self):
+        sim, res = run_app("escapevc", "Volrend", txns=30)
+        assert res.cycles < 300000
+        assert sim.traffic.done()

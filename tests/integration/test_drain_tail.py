@@ -1,0 +1,46 @@
+"""Integration: DRAIN's tail-latency pathology (Fig. 12's claim).
+
+When DRAIN's period fires inside a run, the whole-network circulation
+misroutes everything in flight — unlucky packets pick up large detours, so
+DRAIN's p99 visibly exceeds a no-misrouting scheme's under the same load.
+"""
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+def run(scheme_name, drain_period=600, **kw):
+    cfg = SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=1500,
+                    drain_cycles=2500, drain_period_cycles=drain_period,
+                    fastpass_slot_cycles=64)
+    sim = Simulation(cfg, get_scheme(scheme_name, **kw),
+                     SyntheticTraffic("uniform", 0.08, seed=21))
+    return sim.run()
+
+
+class TestDrainTail:
+    def test_drain_p99_exceeds_escapevc(self):
+        drain = run("drain")
+        escape = run("escapevc")
+        assert drain.p99_latency > escape.p99_latency
+
+    def test_drain_avg_also_hurt_but_less(self):
+        drain = run("drain")
+        escape = run("escapevc")
+        # the tail is disproportionately affected: the p99 gap factor
+        # exceeds the mean gap factor
+        tail_factor = drain.p99_latency / escape.p99_latency
+        mean_factor = drain.avg_latency / escape.avg_latency
+        assert tail_factor > mean_factor
+
+    def test_no_period_no_pathology(self):
+        quiet = run("drain", drain_period=10 ** 9)
+        escape = run("escapevc")
+        assert quiet.p99_latency <= 1.6 * escape.p99_latency
+
+    def test_fastpass_tail_below_drain(self):
+        drain = run("drain")
+        fp = run("fastpass", n_vcs=2)
+        assert fp.p99_latency < drain.p99_latency

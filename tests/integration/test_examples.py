@@ -1,0 +1,41 @@
+"""Integration: the example scripts run and produce their advertised
+output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "FastPass(VN=0, VC=4)" in out
+        assert "lane upgrades" in out
+
+    def test_deadlock_rescue(self):
+        out = run_example("deadlock_rescue.py")
+        assert "DEADLOCKED" in out
+        assert out.count("completed") >= 2
+
+    def test_app_workloads(self):
+        out = run_example("app_workloads.py")
+        assert "Radix" in out and "Volrend" in out
+        assert "FastPass" in out
+
+    def test_irregular_topology(self):
+        out = run_example("irregular_topology.py")
+        assert "link-disjoint partitions derived and verified" in out
+        assert "TDM schedule" in out

@@ -1,0 +1,149 @@
+"""Integration: every experiment regenerator runs and produces the shape
+of output the paper reports (miniature configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+    table2,
+)
+
+
+class TestTable1:
+    def test_matrix_generated(self):
+        result = table1.run()
+        assert len(result["rows"]) == 6
+        assert result["rows"][-1]["scheme"] == "fastpass"
+        assert all(c == "X" for c in result["rows"][-1]["cells"])
+
+    def test_formatting(self):
+        text = table1.format_result(table1.run())
+        assert "fastpass" in text
+        assert "Protocol DF" in text
+
+
+class TestTable2:
+    def test_parameters_present(self):
+        result = table2.run()
+        keys = {k for k, _v in result["rows"]}
+        assert {"Topology", "Buffer size", "SWAP duty",
+                "FastPass slot K"} <= keys
+
+    def test_formatting(self):
+        assert "VCT" in table2.format_result(table2.run())
+
+
+class TestFig7:
+    def test_small_sweep(self):
+        result = fig7.run(quick=True, patterns=("transpose",),
+                          schemes=[("EscapeVC", "escapevc", {}),
+                                   ("FastPass", "fastpass", {"n_vcs": 4})],
+                          rates=[0.02, 0.10])
+        series = result["series"]["transpose"]
+        assert set(series) == {"EscapeVC", "FastPass"}
+        for pts in series.values():
+            assert len(pts) >= 1
+            assert pts[0][1] > 0
+        text = fig7.format_result(result)
+        assert "saturation" in text
+
+    def test_saturation_helper(self):
+        pts = [(0.02, 10.0, False), (0.06, 12.0, False),
+               (0.10, 50.0, False), (0.14, 900.0, False)]
+        assert fig7.saturation_of(pts) == 0.06
+
+
+class TestFig8:
+    def test_scaling_table(self):
+        result = fig8.run(quick=True, sizes=(4,),
+                          schemes=[("SWAP", "swap", {}),
+                                   ("FastPass", "fastpass", {"n_vcs": 4})],
+                          iters=2)
+        assert set(result["table"]) == {"SWAP", "FastPass"}
+        for row in result["table"].values():
+            assert 0 < row[4] <= 0.4
+        assert "FastPass over SWAP" in fig8.format_result(result)
+
+
+class TestFig9:
+    def test_breakdown_columns(self):
+        result = fig9.run(quick=True, rates=[0.02, 0.10])
+        assert len(result["rows"]) == 2
+        low, high = result["rows"]
+        assert high["fp_share"] > 0
+        text = fig9.format_result(result)
+        assert "bufferless" in text
+
+    def test_bufferless_time_small_and_flat(self):
+        """The paper's Fig. 9 claim, in miniature."""
+        result = fig9.run(quick=True, rates=[0.02, 0.12])
+        rows = [r for r in result["rows"]
+                if r["fp_bufferless"] == r["fp_bufferless"]]
+        assert rows
+        for r in rows:
+            assert r["fp_bufferless"] < 30
+
+
+class TestFig10:
+    def test_two_benchmarks_two_schemes(self):
+        result = fig10.run(
+            quick=True, benchmarks=("Volrend",),
+            schemes=[("EscapeVC(VN=6, VC=2)", "escapevc", {}),
+                     ("FastPass(VN=0, VC=2)", "fastpass", {"n_vcs": 2})])
+        assert result["exec_norm"]["Volrend"]["EscapeVC(VN=6, VC=2)"] == 1.0
+        fp = result["exec_norm"]["Volrend"]["FastPass(VN=0, VC=2)"]
+        assert 0.5 < fp < 2.0
+        assert "normalized execution time" in fig10.format_result(result)
+
+
+class TestFig11:
+    def test_reduction_claim(self):
+        result = fig11.run()
+        fp = next(r for r in result["rows"] if r["scheme"] == "fastpass")
+        assert 0.5 < fp["area_vs_escape"] < 0.7
+        assert "paper: 40%" in fig11.format_result(result)
+
+
+class TestFig12:
+    def test_tail_latency_table(self):
+        result = fig12.run(
+            quick=True, benchmarks=("Volrend",),
+            schemes=[("SWAP (VN=6, VC=2)", "swap", {}),
+                     ("FastPass(VN=0, VC=2)", "fastpass", {"n_vcs": 2})])
+        row = result["p99"]["Volrend"]
+        assert all(v > 0 for v in row.values())
+
+
+class TestFig13:
+    def test_breakdown_sums_to_one(self):
+        result = fig13.run(quick=True, rates=[0.04, 0.12],
+                           benchmarks=("Volrend",))
+        for r in result["uniform"] + result["apps"]:
+            total = r["regular"] + r["fastpass"] + r["dropped"]
+            assert total == pytest.approx(1.0)
+
+    def test_fastflow_kicks_in_with_load(self):
+        result = fig13.run(quick=True, rates=[0.02, 0.14],
+                           benchmarks=())
+        lo, hi = result["uniform"]
+        assert hi["fastpass"] >= lo["fastpass"]
+
+    def test_drops_negligible(self):
+        result = fig13.run(quick=True, rates=[0.10],
+                           benchmarks=("Volrend",))
+        for r in result["uniform"] + result["apps"]:
+            assert r["dropped"] < 0.06   # paper: <= 5.9% post-saturation
+
+    def test_stress_section_exercises_dropping(self):
+        result = fig13.run(quick=True, rates=[0.04], benchmarks=())
+        stress = result["stress"]
+        assert stress["completed"]
+        assert 0 < stress["dropped"] < 0.09
+        assert "SCARAB" in fig13.format_result(result)

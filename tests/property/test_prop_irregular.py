@@ -1,0 +1,67 @@
+"""Property tests: Eulerian segmentation on random connected topologies
+(Sec. III-F holds for *any* bidirectional-channel topology)."""
+
+import networkx as nx
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import irregular
+
+
+@st.composite
+def connected_graph(draw):
+    """A random connected graph: a spanning tree plus random chords."""
+    n = draw(st.integers(min_value=3, max_value=14))
+    g = nx.Graph()
+    g.add_node(0)
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        g.add_edge(u, v)
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+@given(connected_graph())
+@settings(max_examples=60, deadline=None)
+def test_holistic_path_covers_each_direction_once(g):
+    path = irregular.holistic_path(g)
+    assert len(path) == 2 * g.number_of_edges()
+    assert len(set(path)) == len(path)
+    for (u1, v1), (u2, _) in zip(path, path[1:]):
+        assert v1 == u2
+
+
+@given(connected_graph(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_segments_verify(g, p):
+    path = irregular.holistic_path(g)
+    assume(p <= len(path))
+    segments = irregular.segment_path(path, p)
+    irregular.verify_segments(g, segments)
+
+
+@given(connected_graph(), st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_schedule_covers_all_routers(g, p):
+    path = irregular.holistic_path(g)
+    assume(p <= len(path))
+    sched = irregular.IrregularSchedule(g, p, slot_cycles=8)
+    assert sched.covers_all()
+
+
+@given(connected_graph(), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=30))
+@settings(max_examples=40, deadline=None)
+def test_every_segment_router_becomes_prime(g, p, extra_phases):
+    path = irregular.holistic_path(g)
+    assume(p <= len(path))
+    sched = irregular.IrregularSchedule(g, p, slot_cycles=8)
+    for c in range(p):
+        routers = set(sched.routers_of[c])
+        seen = {sched.prime_of_partition(c, ph)
+                for ph in range(len(sched.routers_of[c]))}
+        assert seen == routers

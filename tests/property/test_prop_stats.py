@@ -1,0 +1,53 @@
+"""Property tests for the statistics helpers (cross-checked against
+numpy)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.stats import StatsCollector, percentile
+
+values = st.lists(st.integers(min_value=0, max_value=10 ** 6), min_size=1,
+                  max_size=500)
+
+
+@given(values)
+@settings(max_examples=100, deadline=None)
+def test_percentile_matches_numpy_nearest_rank(vals):
+    vals = sorted(vals)
+    for q in (50, 90, 99, 100):
+        ours = percentile(vals, q)
+        ref = float(np.percentile(vals, q, method="inverted_cdf"))
+        assert ours == ref
+
+
+@given(values)
+@settings(max_examples=50, deadline=None)
+def test_percentile_bounds(vals):
+    vals = sorted(vals)
+    for q in (1, 50, 99):
+        p = percentile(vals, q)
+        assert vals[0] <= p <= vals[-1]
+
+
+@given(values)
+@settings(max_examples=50, deadline=None)
+def test_percentile_monotone_in_q(vals):
+    vals = sorted(vals)
+    ps = [percentile(vals, q) for q in (10, 50, 90, 99)]
+    assert ps == sorted(ps)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_avg_latency_matches_mean(lats):
+    from repro.network.packet import Packet
+
+    s = StatsCollector()
+    for lat in lats:
+        p = Packet(0, 1, 0, 0)
+        p.eject_cycle = lat
+        p.measured = True
+        s.record_ejected(p)
+    assert abs(s.avg_latency() - float(np.mean(lats))) < 1e-9
+    assert s.ejected_measured == len(lats)

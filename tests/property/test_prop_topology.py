@@ -1,0 +1,84 @@
+"""Property tests for mesh topology and routing functions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.routing import (
+    productive_ports,
+    route_adaptive,
+    route_west_first,
+    route_xy,
+    route_yx,
+)
+from repro.network.topology import Mesh, OPPOSITE
+
+dims = st.integers(min_value=2, max_value=10)
+
+
+@st.composite
+def mesh_and_pair(draw):
+    rows = draw(dims)
+    cols = draw(dims)
+    mesh = Mesh(rows, cols)
+    src = draw(st.integers(0, mesh.n_routers - 1))
+    dst = draw(st.integers(0, mesh.n_routers - 1))
+    return mesh, src, dst
+
+
+@given(mesh_and_pair())
+@settings(max_examples=100, deadline=None)
+def test_hops_is_a_metric(args):
+    mesh, a, b = args
+    assert mesh.hops(a, b) == mesh.hops(b, a)
+    assert (mesh.hops(a, b) == 0) == (a == b)
+
+
+@given(mesh_and_pair(), st.data())
+@settings(max_examples=100, deadline=None)
+def test_triangle_inequality(args, data):
+    mesh, a, b = args
+    c = data.draw(st.integers(0, mesh.n_routers - 1))
+    assert mesh.hops(a, b) <= mesh.hops(a, c) + mesh.hops(c, b)
+
+
+@given(mesh_and_pair())
+@settings(max_examples=100, deadline=None)
+def test_neighbor_symmetry(args):
+    mesh, rid, _ = args
+    for port in mesh.ports_of(rid):
+        nbr = mesh.neighbor(rid, port)
+        assert mesh.neighbor(nbr, OPPOSITE[port]) == rid
+
+
+@given(mesh_and_pair())
+@settings(max_examples=100, deadline=None)
+def test_xy_and_yx_paths_minimal_and_correct(args):
+    mesh, src, dst = args
+    for path in (mesh.xy_path(src, dst), mesh.yx_path(src, dst)):
+        assert len(path) == mesh.hops(src, dst)
+        at = src
+        for rid, port in path:
+            assert rid == at
+            at = mesh.neighbor(rid, port)
+        assert at == dst
+
+
+@given(mesh_and_pair())
+@settings(max_examples=100, deadline=None)
+def test_every_routing_function_productive(args):
+    mesh, src, dst = args
+    if src == dst:
+        return
+    prod = set(productive_ports(mesh, src, dst))
+    for fn in (route_xy, route_yx, route_adaptive, route_west_first):
+        outs = set(fn(mesh, src, dst))
+        assert outs and outs <= prod
+
+
+@given(mesh_and_pair())
+@settings(max_examples=60, deadline=None)
+def test_adaptive_offers_all_productive(args):
+    mesh, src, dst = args
+    if src == dst:
+        return
+    assert set(route_adaptive(mesh, src, dst)) == \
+        set(productive_ports(mesh, src, dst))

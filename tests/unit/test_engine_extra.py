@@ -1,0 +1,78 @@
+"""Additional engine behaviours: suspension, determinism, run modes."""
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.traffic.coherence import CoherenceTraffic
+from repro.traffic.synthetic import SyntheticTraffic
+from tests.conftest import inject_now, make_network
+
+
+class TestSuspension:
+    def test_suspended_network_freezes_motion(self, small_cfg):
+        net = make_network(small_cfg, routing="xy")
+        pkt = inject_now(net, 0, 5)
+        net.step()
+        net.step()
+        net.suspended = True
+        hops_before = pkt.hops
+        entry_before = pkt.net_entry
+        for _ in range(20):
+            net.step()
+        assert pkt.hops == hops_before
+        assert pkt.eject_cycle < 0 or entry_before < 0
+
+    def test_resume_after_suspension(self, small_cfg):
+        net = make_network(small_cfg, routing="xy")
+        pkt = inject_now(net, 0, 5)
+        net.suspended = True
+        for _ in range(10):
+            net.step()
+        net.suspended = False
+        for _ in range(100):
+            net.step()
+        assert pkt.eject_cycle >= 0
+
+
+class TestDeterminism:
+    def test_closed_loop_deterministic(self):
+        def run():
+            cfg = SimConfig(rows=4, cols=4, fastpass_slot_cycles=64)
+            tr = CoherenceTraffic(txns_per_core=25, seed=9)
+            sim = Simulation(cfg, get_scheme("fastpass", n_vcs=2), tr)
+            res = sim.run_to_completion(100000)
+            return res.cycles, res.avg_latency, tr.completed
+
+        assert run() == run()
+
+    def test_open_loop_seed_sensitivity(self, small_cfg):
+        def run(seed):
+            sim = Simulation(small_cfg, get_scheme("escapevc"),
+                             SyntheticTraffic("uniform", 0.08, seed=seed))
+            return sim.run().avg_latency
+
+        assert run(1) != run(2)
+
+
+class TestRunModes:
+    def test_run_to_completion_respects_cap(self):
+        cfg = SimConfig(rows=4, cols=4, fastpass_slot_cycles=64)
+        tr = CoherenceTraffic(txns_per_core=10 ** 6, seed=1)   # impossible
+        sim = Simulation(cfg, get_scheme("escapevc"), tr)
+        res = sim.run_to_completion(500)
+        assert res.cycles == 500
+        assert not tr.done()
+
+    def test_open_loop_result_has_rate_metadata(self, small_cfg):
+        from repro.sim.runner import run_point
+        res = run_point("escapevc", "uniform", 0.05, small_cfg)
+        assert res.extra["pattern"] == "uniform"
+        assert res.extra["rate"] == 0.05
+        assert "undelivered" in res.extra
+
+    def test_nan_latency_when_no_traffic(self, small_cfg):
+        sim = Simulation(small_cfg, get_scheme("escapevc"),
+                         SyntheticTraffic("uniform", 0.0, seed=1))
+        res = sim.run()
+        assert res.avg_latency != res.avg_latency
+        assert res.ejected == 0

@@ -1,0 +1,59 @@
+"""Unit tests for experiment-module helper functions (no simulation)."""
+
+import math
+
+from repro.experiments.fig7 import saturation_of
+from repro.experiments.fig10 import _avg
+from repro.experiments.fig13 import _breakdown
+from repro.config import RunResult
+
+
+class TestSaturationOf:
+    def test_empty(self):
+        assert saturation_of([]) == 0.0
+
+    def test_never_saturates(self):
+        pts = [(0.02, 10.0, False), (0.06, 12.0, False)]
+        assert saturation_of(pts) == 0.06
+
+    def test_deadlock_stops(self):
+        pts = [(0.02, 10.0, False), (0.06, 11.0, True)]
+        assert saturation_of(pts) == 0.02
+
+    def test_nan_latency_stops(self):
+        pts = [(0.02, 10.0, False), (0.06, float("nan"), False)]
+        assert saturation_of(pts) == 0.02
+
+    def test_explicit_zero_load(self):
+        pts = [(0.02, 50.0, False), (0.06, 70.0, False)]
+        assert saturation_of(pts, zero_load=10.0) == 0.02
+        # first point itself above 3x zero-load: saturation pinned there
+        assert saturation_of(pts, zero_load=30.0) == 0.06
+
+
+class TestFig10Avg:
+    def test_skips_nan(self):
+        d = {"a": {"s": 1.0}, "b": {"s": float("nan")}, "c": {"s": 3.0}}
+        assert _avg(d, ["a", "b", "c"], "s") == 2.0
+
+    def test_all_nan_is_nan(self):
+        d = {"a": {"s": float("nan")}}
+        assert math.isnan(_avg(d, ["a"], "s"))
+
+
+class TestFig13Breakdown:
+    def _res(self, reg, fp, drop):
+        r = RunResult(scheme="x")
+        r.regular_delivered = reg
+        r.fastpass_delivered = fp
+        r.dropped = drop
+        return r
+
+    def test_fractions_sum_to_one(self):
+        b = _breakdown(self._res(70, 25, 5))
+        assert abs(b["regular"] + b["fastpass"] + b["dropped"] - 1) < 1e-12
+        assert b["dropped"] == 0.05
+
+    def test_empty_run(self):
+        b = _breakdown(self._res(0, 0, 0))
+        assert b == {"regular": 1.0, "fastpass": 0.0, "dropped": 0.0}

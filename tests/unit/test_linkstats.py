@@ -1,0 +1,61 @@
+"""Unit tests for link-utilization analysis."""
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.sim.linkstats import format_heatmap, hotspots, summary, utilization
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+def run_sim(scheme="escapevc", rate=0.1, cycles=400, **kw):
+    cfg = SimConfig(rows=4, cols=4, fastpass_slot_cycles=64)
+    sim = Simulation(cfg, get_scheme(scheme, **kw),
+                     SyntheticTraffic("transpose", rate, seed=3))
+    sim.traffic.measure_window(0, 1 << 60)
+    for _ in range(cycles):
+        sim.net.step()
+    return sim.net
+
+
+class TestUtilization:
+    def test_idle_network_zero(self):
+        cfg = SimConfig(rows=4, cols=4)
+        from tests.conftest import make_network
+        net = make_network(cfg)
+        net.run(50)
+        assert all(u.total == 0 for u in utilization(net))
+
+    def test_loaded_network_nonzero(self):
+        net = run_sim()
+        assert any(u.regular > 0 for u in utilization(net))
+
+    def test_fractions_bounded(self):
+        net = run_sim(rate=0.25)
+        for u in utilization(net):
+            assert 0 <= u.regular <= 1.01
+            assert 0 <= u.fastflow <= 1.01
+
+    def test_fastflow_share_only_for_fastpass(self):
+        reg = summary(run_sim("escapevc"))
+        fp = summary(run_sim("fastpass", n_vcs=2, rate=0.15))
+        assert reg["fastflow_share"] == 0.0
+        assert fp["fastflow_share"] > 0.0
+
+    def test_hotspots_sorted(self):
+        net = run_sim(rate=0.2)
+        hs = hotspots(net, top=4)
+        assert len(hs) == 4
+        assert all(hs[i].total >= hs[i + 1].total for i in range(3))
+
+    def test_heatmap_dimensions(self):
+        net = run_sim()
+        lines = format_heatmap(net).splitlines()
+        assert len(lines) == 4
+        assert all(len(l.split()) == 4 for l in lines)
+
+    def test_transpose_loads_unevenly(self):
+        net = run_sim(rate=0.2)
+        utils = [u.total for u in utilization(net)]
+        mean = sum(utils) / len(utils)
+        assert max(utils) > 1.4 * mean     # diagonal corridor runs hot
+        assert min(utils) < 0.5 * mean     # edge links stay cool

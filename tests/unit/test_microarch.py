@@ -1,0 +1,56 @@
+"""Unit tests for the structural FastPass-hardware inventory (Fig. 6)."""
+
+import pytest
+
+from repro.core.microarch import (
+    FastPassHardware,
+    inventory,
+    overhead_area,
+    overhead_fraction,
+    overhead_power,
+)
+from repro.network.topology import Mesh
+
+
+class TestInventory:
+    def test_path_table_matches_paper(self):
+        """'The FastPass-Lane table has P entries ... for an 8x8 mesh, it
+        translates into 3-bits for each entry.'"""
+        hw = inventory(Mesh(8, 8), n_vcs=2)
+        assert hw.path_table_bits == 8 * 3
+
+    def test_prime_id_six_bits_for_8x8(self):
+        """'the PrimeID (6 bits for an 8x8 mesh)'"""
+        assert inventory(Mesh(8, 8), 2).prime_id_bits == 6
+
+    def test_lookahead_latches_ten_bits_per_port(self):
+        hw = inventory(Mesh(8, 8), 2)
+        assert hw.lookahead_latch_bits == 5 * 10
+
+    def test_counter_covers_rotation(self):
+        hw = inventory(Mesh(8, 8), 2)
+        rotation = 8 * 8 * (2 * 14 * 5 * 2)
+        assert 2 ** hw.counter_bits > rotation
+
+    def test_register_bits_total(self):
+        hw = FastPassHardware(path_table_bits=10, counter_bits=5,
+                              prime_id_bits=6, lookahead_latch_bits=50,
+                              mux_bit_slices=100, dropping_cmp_bits=12)
+        assert hw.register_bits == 10 + 5 + 6 + 50 + 12
+
+
+class TestOverheadMagnitude:
+    @pytest.mark.parametrize("n,vcs", [(4, 2), (8, 2), (8, 4), (16, 2)])
+    def test_fraction_in_papers_band(self, n, vcs):
+        """The FastPass overhead is a few percent of its own router —
+        the same magnitude as the paper's ~4%."""
+        frac = overhead_fraction(Mesh(n, n), vcs)
+        assert 0.005 < frac < 0.06
+
+    def test_overhead_grows_with_mesh(self):
+        small = overhead_area(Mesh(4, 4), 2)
+        big = overhead_area(Mesh(16, 16), 2)
+        assert big > small
+
+    def test_power_positive(self):
+        assert overhead_power(Mesh(8, 8), 2) > 0

@@ -1,0 +1,163 @@
+"""Unit tests for network interfaces: injection/ejection queues,
+reservations, and the dynamic-bubble dropping machinery."""
+
+import pytest
+
+from repro.network.ni import EjectionQueue
+from repro.network.packet import MessageClass, Packet
+from tests.conftest import inject_now, make_network
+
+
+@pytest.fixture
+def net(small_cfg):
+    return make_network(small_cfg, routing="xy")
+
+
+class TestEjectionQueue:
+    def test_accepts_until_cap(self):
+        q = EjectionQueue(cap=2)
+        a, b, c = (Packet(0, 1, 0, 0) for _ in range(3))
+        assert q.can_accept(a)
+        q.push(a)
+        assert q.can_accept(b)
+        q.push(b)
+        assert not q.can_accept(c)
+
+    def test_reservation_blocks_regular_arrivals(self):
+        q = EjectionQueue(cap=2)
+        reserved = Packet(0, 1, 0, 0)
+        other = Packet(0, 1, 0, 0)
+        q.push(Packet(0, 1, 0, 0))
+        q.reserve(reserved)
+        # one slot physically free, but it is spoken for
+        assert not q.can_accept(other)
+        assert q.can_accept(reserved)
+
+    def test_push_clears_reservation(self):
+        q = EjectionQueue(cap=2)
+        pkt = Packet(0, 1, 0, 0)
+        q.reserve(pkt)
+        q.push(pkt)
+        assert pkt.pid not in q.reservations
+
+    def test_multiple_reservations(self):
+        q = EjectionQueue(cap=3)
+        r1, r2 = Packet(0, 1, 0, 0), Packet(0, 1, 0, 0)
+        q.reserve(r1)
+        q.reserve(r2)
+        q.push(Packet(0, 1, 0, 0))
+        assert not q.can_accept(Packet(0, 1, 0, 0))
+        assert q.can_accept(r1)
+
+
+class TestInjection:
+    def test_injection_enters_local_vc(self, net):
+        pkt = inject_now(net, 0, 5, MessageClass.REQUEST)
+        net.step()
+        net.step()
+        assert pkt.net_entry >= 0
+        assert net.stats.injected == 1
+
+    def test_bounded_class_queue_backpressure(self, net):
+        cap = net.cfg.inj_queue_pkts
+        ni = net.nis[0]
+        for _ in range(cap + 3):
+            inject_now(net, 0, 5, MessageClass.REQUEST)
+        ni.inject_step(net.cycle)
+        assert len(ni.inj[MessageClass.REQUEST]) <= cap
+        assert len(ni.pending) >= 2
+
+    def test_injection_port_serializes(self, net):
+        inject_now(net, 0, 5, MessageClass.RESPONSE)   # 5 flits
+        net.step()
+        ni = net.nis[0]
+        assert ni.inj_busy_until == 5          # streaming for 5 cycles
+        # A second packet cannot enter the network while streaming.
+        late = inject_now(net, 0, 5, MessageClass.REQUEST)
+        net.step()
+        assert late.net_entry == -1
+
+    def test_round_robin_across_classes(self, net):
+        a = inject_now(net, 0, 5, MessageClass.REQUEST)
+        b = inject_now(net, 0, 5, MessageClass.RESPONSE)
+        for _ in range(20):
+            net.step()
+        assert a.net_entry >= 0 and b.net_entry >= 0
+
+
+class TestDynamicBubble:
+    def test_make_bubble_drops_a_request(self, net):
+        ni = net.nis[0]
+        for _ in range(net.cfg.inj_queue_pkts):
+            inject_now(net, 0, 5, MessageClass.REQUEST)
+        ni.inject_step(0)
+        before = len(ni.inj[MessageClass.REQUEST])
+        assert ni.make_bubble(now=0)
+        assert len(ni.inj[MessageClass.REQUEST]) == before - 1
+        assert ni.dropped == 1
+        assert net.stats.dropped == 1
+
+    def test_dropped_request_regenerated(self, net):
+        ni = net.nis[0]
+        pkt = Packet(0, 5, MessageClass.REQUEST, 0)
+        ni.inj[MessageClass.REQUEST].append(pkt)
+        assert ni.make_bubble(now=net.cycle)
+        for _ in range(net.cfg.mshr_regen_cycles + 3):
+            net.step()
+        assert ni.regenerated == 1
+        assert pkt.drop_count == 1
+
+    def test_rejected_packets_never_dropped(self, net):
+        ni = net.nis[0]
+        for _ in range(2):
+            p = Packet(0, 5, MessageClass.REQUEST, 0)
+            p.rejected = True
+            ni.inj[MessageClass.REQUEST].append(p)
+        assert not ni.make_bubble(now=0)
+        assert ni.dropped == 0
+
+    def test_accept_bounced_goes_to_queue_head(self, net):
+        ni = net.nis[0]
+        regular = Packet(0, 5, MessageClass.REQUEST, 0)
+        ni.inj[MessageClass.REQUEST].append(regular)
+        bounced = Packet(0, 9, MessageClass.RESPONSE, 0)
+        ni.accept_bounced(bounced, now=10)
+        q = ni.inj[MessageClass.REQUEST]
+        assert q[0] is bounced
+        assert bounced.rejected
+
+    def test_accept_bounced_makes_bubble_when_full(self, net):
+        ni = net.nis[0]
+        cap = net.cfg.inj_queue_pkts
+        for _ in range(cap):
+            ni.inj[MessageClass.REQUEST].append(
+                Packet(0, 5, MessageClass.REQUEST, 0))
+        bounced = Packet(0, 9, MessageClass.RESPONSE, 0)
+        ni.accept_bounced(bounced, now=10)
+        assert ni.dropped == 1
+        assert ni.inj[MessageClass.REQUEST][0] is bounced
+
+    def test_injection_clears_rejected_flag(self, net):
+        ni = net.nis[0]
+        bounced = Packet(0, 5, MessageClass.REQUEST, 0)
+        ni.accept_bounced(bounced, now=0)
+        for _ in range(10):
+            net.step()
+        assert bounced.net_entry >= 0
+        assert not bounced.rejected   # travelling as a regular packet now
+
+
+class TestLocalDelivery:
+    def test_local_consumer_notified(self, net):
+        seen = []
+
+        class Consumer:
+            def on_local(self, ni, pkt):
+                seen.append(pkt)
+
+            def consume(self, ni, now):
+                pass
+
+        net.nis[3].consumer = Consumer()
+        pkt = inject_now(net, 3, 3, MessageClass.RESPONSE)
+        assert seen == [pkt]

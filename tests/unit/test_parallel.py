@@ -1,0 +1,45 @@
+"""Unit tests for the parallel sweep runner."""
+
+from repro.config import SimConfig
+from repro.sim.parallel import Point, grid, parallel_sweep
+
+
+def cfg():
+    return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=300,
+                     drain_cycles=800, fastpass_slot_cycles=64)
+
+
+class TestGrid:
+    def test_cartesian_size(self):
+        pts = grid([("escapevc", {}), ("fastpass", {"n_vcs": 2})],
+                   ["uniform", "transpose"], [0.02, 0.05])
+        assert len(pts) == 8
+
+    def test_point_hashable(self):
+        p = Point.make("fastpass", "uniform", 0.1, n_vcs=4)
+        assert p in {p}
+        assert p.scheme_kwargs == (("n_vcs", 4),)
+
+
+class TestExecution:
+    def test_serial_results_in_order(self):
+        pts = grid([("escapevc", {})], ["uniform"], [0.02, 0.05])
+        results = parallel_sweep(pts, cfg(), processes=1)
+        assert len(results) == 2
+        assert results[0].extra["rate"] == 0.02
+        assert results[1].extra["rate"] == 0.05
+
+    def test_parallel_matches_serial(self):
+        pts = grid([("escapevc", {}), ("fastpass", {"n_vcs": 2})],
+                   ["uniform"], [0.04])
+        serial = parallel_sweep(pts, cfg(), processes=1)
+        para = parallel_sweep(pts, cfg(), processes=2)
+        for s, p in zip(serial, para):
+            assert s.avg_latency == p.avg_latency
+            assert s.ejected == p.ejected
+
+    def test_single_point_short_circuits(self):
+        pts = [Point.make("escapevc", "uniform", 0.03)]
+        results = parallel_sweep(pts, cfg(), processes=8)
+        assert len(results) == 1
+        assert results[0].ejected > 0

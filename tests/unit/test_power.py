@@ -1,0 +1,78 @@
+"""Unit tests for the analytical power/area model (Fig. 11 substitute)."""
+
+import pytest
+
+from repro.power.model import RouterCost, scheme_cost
+from repro.power.report import area_power_table, format_table
+
+
+class TestSchemeCost:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_cost("bogus", 6, 2)
+
+    def test_totals_are_sums(self):
+        c = scheme_cost("escapevc", 6, 2)
+        assert c.area == pytest.approx(sum(c.area_breakdown().values()))
+        assert c.power == pytest.approx(sum(c.power_breakdown().values()))
+
+    def test_buffers_scale_with_vcs(self):
+        a = scheme_cost("baseline", 1, 2)
+        b = scheme_cost("baseline", 1, 4)
+        assert b.buffers_area == pytest.approx(2 * a.buffers_area)
+        assert b.crossbar_area == a.crossbar_area
+
+    def test_escape_reference_overhead(self):
+        """SPIN's detection circuit is ~6% of the EscapeVC router (paper)."""
+        esc = scheme_cost("escapevc", 6, 2)
+        spin = scheme_cost("spin", 6, 2)
+        base = esc.area   # escape has no overhead
+        assert spin.overhead_area == pytest.approx(0.06 * base)
+
+    def test_fastpass_overhead_of_own_router(self):
+        fp = scheme_cost("fastpass", 1, 2)
+        base = fp.buffers_area + fp.crossbar_area + fp.arbiters_area
+        assert fp.overhead_area == pytest.approx(0.04 * base)
+        # paper: the FastPass overhead is ~4% of the FastPass router
+        assert fp.overhead_area / fp.area == pytest.approx(0.04 / 1.04)
+
+
+class TestPaperClaims:
+    def test_fastpass_reduction_close_to_paper(self):
+        """~40% area / ~41% power reduction vs EscapeVC."""
+        esc = scheme_cost("escapevc", 6, 2)
+        fp = scheme_cost("fastpass", 1, 2)
+        area_red = 1 - fp.area / esc.area
+        power_red = 1 - fp.power / esc.power
+        assert 0.30 <= area_red <= 0.50
+        assert 0.30 <= power_red <= 0.50
+
+    def test_fastpass_equals_pitstop(self):
+        fp = scheme_cost("fastpass", 1, 2)
+        ps = scheme_cost("pitstop", 1, 2)
+        assert fp.area == pytest.approx(ps.area, rel=0.05)
+
+    def test_spin_costs_most(self):
+        rows = area_power_table()
+        areas = {r["scheme"]: r["area_um2"] for r in rows}
+        assert areas["spin"] == max(areas.values())
+
+    def test_vn_schemes_dominate_vn_free(self):
+        rows = area_power_table()
+        for r in rows:
+            if r["vns"] == 6:
+                assert r["area_vs_escape"] >= 0.99
+
+
+class TestReport:
+    def test_table_has_six_rows(self):
+        assert len(area_power_table()) == 6
+
+    def test_escape_is_reference(self):
+        rows = area_power_table()
+        assert rows[0]["scheme"] == "escapevc"
+        assert rows[0]["area_vs_escape"] == 1.0
+
+    def test_format_is_printable(self):
+        text = format_table(area_power_table())
+        assert "escapevc" in text and "fastpass" in text

@@ -1,0 +1,118 @@
+"""Unit tests for the routing functions."""
+
+import pytest
+
+from repro.network.routing import (
+    productive_ports,
+    route_adaptive,
+    route_west_first,
+    route_xy,
+    route_yx,
+)
+from repro.network.topology import (
+    Mesh,
+    PORT_E,
+    PORT_LOCAL,
+    PORT_N,
+    PORT_S,
+    PORT_W,
+)
+
+ALL_ROUTERS = [route_xy, route_yx, route_adaptive, route_west_first]
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(4, 4)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("fn", ALL_ROUTERS)
+    def test_local_at_destination(self, mesh, fn):
+        for rid in range(mesh.n_routers):
+            assert fn(mesh, rid, rid) == (PORT_LOCAL,)
+
+    @pytest.mark.parametrize("fn", ALL_ROUTERS)
+    def test_always_returns_a_port(self, mesh, fn):
+        for src in range(mesh.n_routers):
+            for dst in range(mesh.n_routers):
+                assert len(fn(mesh, src, dst)) >= 1
+
+    @pytest.mark.parametrize("fn", ALL_ROUTERS)
+    def test_minimal_every_port_productive(self, mesh, fn):
+        for src in range(mesh.n_routers):
+            for dst in range(mesh.n_routers):
+                if src == dst:
+                    continue
+                prod = set(productive_ports(mesh, src, dst))
+                assert set(fn(mesh, src, dst)) <= prod
+
+    @pytest.mark.parametrize("fn", ALL_ROUTERS)
+    def test_following_route_reaches_destination(self, mesh, fn):
+        for src in range(mesh.n_routers):
+            for dst in range(mesh.n_routers):
+                at, steps = src, 0
+                while at != dst:
+                    port = fn(mesh, at, dst)[0]
+                    at = mesh.neighbor(at, port)
+                    steps += 1
+                    assert steps <= mesh.diameter
+                assert steps == mesh.hops(src, dst)
+
+
+class TestXY:
+    def test_x_resolved_first(self, mesh):
+        assert route_xy(mesh, mesh.rid(0, 0), mesh.rid(2, 2)) == (PORT_E,)
+        assert route_xy(mesh, mesh.rid(2, 0), mesh.rid(2, 2)) == (PORT_N,)
+
+    def test_single_output(self, mesh):
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    assert len(route_xy(mesh, src, dst)) == 1
+
+
+class TestYX:
+    def test_y_resolved_first(self, mesh):
+        assert route_yx(mesh, mesh.rid(0, 0), mesh.rid(2, 2)) == (PORT_N,)
+        assert route_yx(mesh, mesh.rid(0, 2), mesh.rid(2, 2)) == (PORT_E,)
+
+
+class TestAdaptive:
+    def test_offers_both_productive_dimensions(self, mesh):
+        outs = route_adaptive(mesh, mesh.rid(0, 0), mesh.rid(2, 2))
+        assert set(outs) == {PORT_E, PORT_N}
+
+    def test_single_dimension_when_aligned(self, mesh):
+        outs = route_adaptive(mesh, mesh.rid(0, 0), mesh.rid(3, 0))
+        assert outs == (PORT_E,)
+
+
+class TestWestFirst:
+    def test_west_taken_deterministically(self, mesh):
+        outs = route_west_first(mesh, mesh.rid(3, 0), mesh.rid(0, 2))
+        assert outs == (PORT_W,)
+
+    def test_adaptive_when_no_west_component(self, mesh):
+        outs = route_west_first(mesh, mesh.rid(0, 0), mesh.rid(2, 2))
+        assert set(outs) == {PORT_E, PORT_N}
+
+    def test_no_turn_into_west_ever(self, mesh):
+        # After any non-West move, a packet never needs to go West again.
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                at = src
+                gone_not_west = False
+                while at != dst:
+                    port = route_west_first(mesh, at, dst)[0]
+                    if port == PORT_W:
+                        assert not gone_not_west
+                    else:
+                        gone_not_west = True
+                    at = mesh.neighbor(at, port)
+
+    def test_pure_south(self, mesh):
+        outs = route_west_first(mesh, mesh.rid(1, 3), mesh.rid(1, 0))
+        assert outs == (PORT_S,)

@@ -1,0 +1,116 @@
+"""Unit tests for the engine and the sweep/saturation runners."""
+
+import pytest
+
+from repro.config import RunResult, SimConfig
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation, build_network
+from repro.sim.runner import (
+    is_saturated,
+    run_point,
+    saturation_throughput,
+    sweep_latency,
+)
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+@pytest.fixture
+def cfg():
+    return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=400,
+                     drain_cycles=1200, fastpass_slot_cycles=64)
+
+
+class TestBuildNetwork:
+    def test_scheme_config_applied(self, cfg):
+        net = build_network(cfg, get_scheme("fastpass", n_vcs=4))
+        assert net.cfg.n_vns == 1
+        assert net.cfg.n_vcs == 4
+
+    def test_router_class_applied(self, cfg):
+        from repro.schemes.minbd import MinBDRouter
+        net = build_network(cfg, get_scheme("minbd"))
+        assert isinstance(net.routers[0], MinBDRouter)
+
+
+class TestSimulation:
+    def test_run_produces_result(self, cfg):
+        sim = Simulation(cfg, get_scheme("escapevc"),
+                         SyntheticTraffic("uniform", 0.05, seed=1))
+        res = sim.run()
+        assert isinstance(res, RunResult)
+        assert res.ejected > 0
+        assert res.throughput > 0
+        assert res.cycles >= cfg.warmup_cycles + cfg.measure_cycles
+
+    def test_drain_stops_when_complete(self, cfg):
+        sim = Simulation(cfg, get_scheme("escapevc"),
+                         SyntheticTraffic("uniform", 0.02, seed=1))
+        res = sim.run()
+        assert res.extra["undelivered"] == 0
+        assert res.cycles < cfg.warmup_cycles + cfg.measure_cycles + \
+            cfg.drain_cycles
+
+    def test_deterministic(self, cfg):
+        r1 = run_point("escapevc", "uniform", 0.05, cfg)
+        r2 = run_point("escapevc", "uniform", 0.05, cfg)
+        assert r1.avg_latency == r2.avg_latency
+        assert r1.ejected == r2.ejected
+
+
+class TestRunPoint:
+    def test_accepts_scheme_name(self, cfg):
+        res = run_point("fastpass", "transpose", 0.05, cfg)
+        assert "FastPass" in res.scheme
+        assert res.extra["rate"] == 0.05
+        assert res.extra["pattern"] == "transpose"
+
+    def test_accepts_scheme_instance(self, cfg):
+        res = run_point(get_scheme("swap"), "uniform", 0.05, cfg)
+        assert res.ejected > 0
+
+
+class TestSweep:
+    def test_sweep_returns_point_per_rate(self, cfg):
+        results = sweep_latency("escapevc", "uniform", [0.02, 0.05], cfg)
+        assert len(results) == 2
+        assert results[0].extra["rate"] == 0.02
+
+    def test_sweep_stops_after_collapse(self, cfg):
+        # a short drain window keeps the post-saturation backlog visible
+        tight = cfg.with_(drain_cycles=50)
+        results = sweep_latency("baseline", "transpose",
+                                [0.02, 0.6, 0.65, 0.7], tight)
+        assert len(results) < 4
+
+    def test_latency_monotone_at_extremes(self, cfg):
+        lo = run_point("escapevc", "uniform", 0.02, cfg)
+        hi = run_point("escapevc", "uniform", 0.30, cfg)
+        assert hi.avg_latency > lo.avg_latency
+
+
+class TestSaturation:
+    def test_is_saturated_criteria(self):
+        res = RunResult(scheme="x")
+        res.extra = {"measured_generated": 100, "undelivered": 0}
+        res.avg_latency = 20.0
+        assert not is_saturated(res, zero_load=10.0)
+        res.avg_latency = 40.0
+        assert is_saturated(res, zero_load=10.0)
+
+    def test_undelivered_means_saturated(self):
+        res = RunResult(scheme="x")
+        res.extra = {"measured_generated": 100, "undelivered": 50}
+        res.avg_latency = 5.0
+        assert is_saturated(res, zero_load=10.0)
+
+    def test_deadlock_means_saturated(self):
+        res = RunResult(scheme="x")
+        res.extra = {"measured_generated": 100, "undelivered": 0}
+        res.avg_latency = 5.0
+        res.deadlocked = True
+        assert is_saturated(res, zero_load=10.0)
+
+    def test_search_brackets_reasonably(self, cfg):
+        sat = saturation_throughput("escapevc", "uniform", cfg,
+                                    lo=0.02, hi=0.6, iters=3)
+        assert 0.02 <= sat < 0.6

@@ -1,0 +1,97 @@
+"""Unit tests for the TDM schedule (Sec. III-C1)."""
+
+import pytest
+
+from repro.core.schedule import TdmSchedule
+
+
+@pytest.fixture
+def sched():
+    return TdmSchedule(rows=4, cols=4, slot_cycles=10)
+
+
+class TestConstruction:
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            TdmSchedule(4, 8, 10)
+
+    def test_requires_positive_slot(self):
+        with pytest.raises(ValueError):
+            TdmSchedule(4, 4, 0)
+
+    def test_derived_lengths(self, sched):
+        assert sched.P == 4
+        assert sched.phase_len == 40
+        assert sched.rotation_len == 160
+
+
+class TestSlotInfo:
+    def test_first_slot(self, sched):
+        info = sched.info(0)
+        assert (info.phase, info.slot) == (0, 0)
+        assert (info.slot_start, info.slot_end) == (0, 10)
+
+    def test_mid_slot(self, sched):
+        info = sched.info(25)
+        assert (info.phase, info.slot) == (0, 2)
+        assert (info.slot_start, info.slot_end) == (20, 30)
+
+    def test_phase_boundary(self, sched):
+        assert sched.info(39).phase == 0
+        assert sched.info(40).phase == 1
+        assert sched.info(40).slot == 0
+
+    def test_phase_counter_never_wraps(self, sched):
+        assert sched.info(4000).phase == 100
+
+
+class TestPrimes:
+    def test_initial_diagonal(self, sched):
+        # phase 0: partition c prime at (col=c, row=c)
+        assert sched.primes(0) == [0, 5, 10, 15]
+
+    def test_rotation_by_row(self, sched):
+        # phase 1: row shifted by one within each column
+        assert sched.primes(1) == [4, 9, 14, 3]
+
+    def test_primes_never_share_row_or_column(self, sched):
+        for phase in range(10):
+            primes = sched.primes(phase)
+            rows = [p // 4 for p in primes]
+            cols = [p % 4 for p in primes]
+            assert len(set(rows)) == 4
+            assert len(set(cols)) == 4
+
+    def test_every_router_becomes_prime(self, sched):
+        seen = set()
+        for phase in range(sched.rows):
+            seen.update(sched.primes(phase))
+        assert seen == set(range(16))
+
+    def test_slots_until_prime(self, sched):
+        for rid in range(16):
+            phases = sched.slots_until_prime(rid)
+            assert sched.prime_of_partition(rid % 4, phases) == rid
+
+
+class TestTargets:
+    def test_slot0_targets_own_partition(self, sched):
+        for c in range(4):
+            assert sched.target_partition(c, 0) == c
+
+    def test_targets_rotate(self, sched):
+        assert [sched.target_partition(1, s) for s in range(4)] == \
+            [1, 2, 3, 0]
+
+    def test_concurrent_targets_distinct(self, sched):
+        for slot in range(4):
+            targets = [sched.target_partition(c, slot) for c in range(4)]
+            assert len(set(targets)) == 4
+
+    def test_full_phase_covers_all_partitions(self, sched):
+        for c in range(4):
+            assert {sched.target_partition(c, s) for s in range(4)} == \
+                set(range(4))
+
+    def test_coverage_bound(self, sched):
+        assert sched.coverage_bound() == 160

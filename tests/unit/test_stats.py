@@ -1,0 +1,90 @@
+"""Unit tests for statistics collection."""
+
+from repro.network.packet import MessageClass, Packet
+from repro.sim.stats import StatsCollector, percentile
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert percentile([], 99) != percentile([], 99)
+
+    def test_single_value(self):
+        assert percentile([7], 50) == 7
+        assert percentile([7], 99) == 7
+
+    def test_median_of_ten(self):
+        vals = list(range(1, 11))
+        assert percentile(vals, 50) == 5
+
+    def test_p99_of_100(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 99) == 99
+
+    def test_p100_is_max(self):
+        assert percentile([1, 5, 9], 100) == 9
+
+
+def _pkt(gen=0, eject=10, fastpass=False, upgrade=-1, measured=True,
+         mclass=MessageClass.REQUEST):
+    p = Packet(0, 1, mclass, gen)
+    p.eject_cycle = eject
+    p.was_fastpass = fastpass
+    p.fp_upgrade = upgrade
+    p.measured = measured
+    return p
+
+
+class TestStatsCollector:
+    def test_counts_all_ejections(self):
+        s = StatsCollector()
+        s.record_ejected(_pkt(measured=False))
+        s.record_ejected(_pkt())
+        assert s.ejected_total == 2
+        assert s.ejected_measured == 1
+
+    def test_latency_only_for_measured(self):
+        s = StatsCollector()
+        s.record_ejected(_pkt(gen=0, eject=50, measured=False))
+        s.record_ejected(_pkt(gen=0, eject=10))
+        assert s.avg_latency() == 10
+
+    def test_fastpass_split(self):
+        s = StatsCollector()
+        s.record_ejected(_pkt(gen=0, eject=30, fastpass=True, upgrade=20))
+        assert s.fp_buffered == [20]
+        assert s.fp_bufferless == [10]
+        assert s.fastpass_delivered == 1
+        assert s.reg_latencies == []
+
+    def test_regular_latency_tracked_separately(self):
+        s = StatsCollector()
+        s.record_ejected(_pkt(gen=0, eject=12))
+        assert s.reg_latencies == [12]
+        assert s.regular_delivered == 1
+
+    def test_per_class_counts(self):
+        s = StatsCollector()
+        s.record_ejected(_pkt(mclass=MessageClass.RESPONSE))
+        s.record_ejected(_pkt(mclass=MessageClass.RESPONSE))
+        s.record_ejected(_pkt(mclass=MessageClass.REQUEST))
+        assert s.per_class_ejected[MessageClass.RESPONSE] == 2
+        assert s.per_class_ejected[MessageClass.REQUEST] == 1
+
+    def test_throughput(self):
+        s = StatsCollector()
+        for _ in range(100):
+            s.record_ejected(_pkt())
+        assert s.throughput(n_nodes=10, cycles=100) == 0.1
+
+    def test_throughput_zero_cycles(self):
+        assert StatsCollector().throughput(10, 0) == 0.0
+
+    def test_p99(self):
+        s = StatsCollector()
+        for i in range(1, 101):
+            s.record_ejected(_pkt(gen=0, eject=i))
+        assert s.p99_latency() == 99
+
+    def test_mean_empty_is_nan(self):
+        s = StatsCollector()
+        assert s.mean([]) != s.mean([])

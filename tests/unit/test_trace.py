@@ -1,0 +1,71 @@
+"""Unit tests for the packet tracer."""
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.sim.trace import PacketTracer
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+def traced_sim(scheme="fastpass", rate=0.1, **kw):
+    cfg = SimConfig(rows=4, cols=4, fastpass_slot_cycles=64)
+    sim = Simulation(cfg, get_scheme(scheme, **kw),
+                     SyntheticTraffic("uniform", rate, seed=5))
+    sim.traffic.measure_window(0, 1 << 60)
+    tracer = PacketTracer(sim.net)
+    return sim, tracer
+
+
+class TestTracer:
+    def test_generation_and_ejection_recorded(self):
+        sim, tracer = traced_sim(n_vcs=2)
+        for _ in range(300):
+            sim.net.step()
+        counts = tracer.counts()
+        assert counts["generated"] > 0
+        assert counts["ejected"] > 0
+        assert counts["ejected"] <= counts["generated"]
+
+    def test_upgrades_recorded_for_fastpass(self):
+        sim, tracer = traced_sim(n_vcs=2, rate=0.15)
+        for _ in range(400):
+            sim.net.step()
+        assert tracer.counts().get("upgraded", 0) > 0
+
+    def test_timeline_ordered(self):
+        sim, tracer = traced_sim(n_vcs=2)
+        for _ in range(300):
+            sim.net.step()
+        done = [pid for pid, evs in tracer.events.items()
+                if any(e.kind == "ejected" for e in evs)]
+        assert done
+        for pid in done[:20]:
+            evs = tracer.timeline(pid)
+            assert evs[0].kind == "generated"
+            cycles = [e.cycle for e in evs]
+            assert cycles == sorted(cycles)
+
+    def test_format_timeline(self):
+        sim, tracer = traced_sim(n_vcs=2)
+        for _ in range(100):
+            sim.net.step()
+        pid = next(iter(tracer.events))
+        text = tracer.format_timeline(pid)
+        assert f"packet {pid}:" in text
+        assert "generated" in text
+
+    def test_tracing_does_not_change_results(self):
+        cfg = SimConfig(rows=4, cols=4, warmup_cycles=100,
+                        measure_cycles=300, drain_cycles=800,
+                        fastpass_slot_cycles=64)
+
+        def run(with_tracer):
+            sim = Simulation(cfg, get_scheme("fastpass", n_vcs=2),
+                             SyntheticTraffic("uniform", 0.08, seed=3))
+            if with_tracer:
+                PacketTracer(sim.net)
+            return sim.run()
+
+        a, b = run(False), run(True)
+        assert a.avg_latency == b.avg_latency
+        assert a.ejected == b.ejected

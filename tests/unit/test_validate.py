@@ -1,0 +1,80 @@
+"""Unit tests for the runtime invariant checker."""
+
+import pytest
+
+from repro.network.packet import MessageClass, Packet
+from repro.network.validate import InvariantViolation, check_invariants
+from repro.schemes import get_scheme
+from repro.sim.engine import Simulation
+from repro.traffic.synthetic import SyntheticTraffic
+from tests.conftest import make_network
+
+
+class TestCleanStates:
+    def test_fresh_network_passes(self, small_cfg):
+        net = make_network(small_cfg)
+        check_invariants(net)
+
+    def test_running_network_passes(self, small_cfg):
+        sim = Simulation(small_cfg, get_scheme("fastpass", n_vcs=2),
+                         SyntheticTraffic("uniform", 0.1, seed=1))
+        net = sim.net
+        for _ in range(200):
+            net.step()
+            check_invariants(net)
+
+    def test_minbd_side_buffer_exempt(self, small_cfg):
+        sim = Simulation(small_cfg, get_scheme("minbd"),
+                         SyntheticTraffic("transpose", 0.2, seed=1))
+        net = sim.net
+        for _ in range(200):
+            net.step()
+            check_invariants(net)
+
+
+class TestCorruptionDetected:
+    def test_unlisted_occupied_slot(self, small_cfg):
+        net = make_network(small_cfg)
+        r = net.routers[0]
+        r.slots[1][0].pkt = Packet(0, 5, MessageClass.REQUEST, 0)
+        with pytest.raises(InvariantViolation, match="missing"):
+            check_invariants(net)
+
+    def test_duplicated_packet(self, small_cfg):
+        net = make_network(small_cfg)
+        pkt = Packet(0, 5, MessageClass.REQUEST, 0)
+        for rid in (0, 1):
+            r = net.routers[rid]
+            slot = r.slots[1][0]
+            slot.pkt = pkt
+            r.occupied.append(slot)
+        with pytest.raises(InvariantViolation, match="two slots"):
+            check_invariants(net)
+
+    def test_buffered_but_ejected(self, small_cfg):
+        net = make_network(small_cfg)
+        r = net.routers[0]
+        pkt = Packet(0, 5, MessageClass.REQUEST, 0)
+        pkt.eject_cycle = 10
+        slot = r.slots[1][0]
+        slot.pkt = pkt
+        r.occupied.append(slot)
+        with pytest.raises(InvariantViolation, match="already ejected"):
+            check_invariants(net)
+
+    def test_in_transit_underflow(self, small_cfg):
+        net = make_network(small_cfg)
+        net.in_transit = -1
+        with pytest.raises(InvariantViolation, match="underflow"):
+            check_invariants(net)
+
+    def test_packet_in_slot_and_queue(self, small_cfg):
+        net = make_network(small_cfg)
+        pkt = Packet(0, 5, MessageClass.REQUEST, 0)
+        r = net.routers[0]
+        slot = r.slots[1][0]
+        slot.pkt = pkt
+        r.occupied.append(slot)
+        net.nis[2].inj[MessageClass.REQUEST].append(pkt)
+        with pytest.raises(InvariantViolation, match="both buffered"):
+            check_invariants(net)
