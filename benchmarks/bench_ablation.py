@@ -12,8 +12,7 @@ worth regenerating:
 """
 
 from repro.config import SimConfig
-from repro.schemes import get_scheme
-from repro.sim.runner import run_point
+from repro.experiments.common import cached_point
 from benchmarks.conftest import report
 
 
@@ -28,8 +27,8 @@ def bench_vc_count(once, benchmark):
     def sweep():
         rows = []
         for vcs in (1, 2, 4):
-            res = run_point(get_scheme("fastpass", n_vcs=vcs), "transpose",
-                            0.12, _cfg())
+            res = cached_point("fastpass", {"n_vcs": vcs}, "transpose",
+                               0.12, _cfg())
             rows.append((vcs, res.avg_latency,
                          res.fastpass_delivered / max(1, res.ejected)))
         return rows
@@ -48,8 +47,8 @@ def bench_slot_length(once, benchmark):
         formula = _cfg(n_vns=1, n_vcs=4).with_(n_vns=1).fastpass_slot()
         rows = []
         for k in (formula // 4, formula, formula * 2):
-            res = run_point(get_scheme("fastpass", n_vcs=4), "transpose",
-                            0.14, _cfg(fastpass_slot_cycles=k))
+            res = cached_point("fastpass", {"n_vcs": 4}, "transpose",
+                               0.14, _cfg(fastpass_slot_cycles=k))
             rows.append((k, res.avg_latency,
                          res.fastpass_delivered / max(1, res.ejected)))
         return rows
@@ -65,10 +64,10 @@ def bench_slot_length(once, benchmark):
 
 def bench_lanes_contribution(once, benchmark):
     def pair():
-        fp = run_point(get_scheme("fastpass", n_vcs=4), "transpose", 0.14,
-                       _cfg())
-        plain = run_point(get_scheme("baseline", n_vns=1, n_vcs=4),
-                          "transpose", 0.14, _cfg())
+        fp = cached_point("fastpass", {"n_vcs": 4}, "transpose", 0.14,
+                          _cfg())
+        plain = cached_point("baseline", {"n_vns": 1, "n_vcs": 4},
+                             "transpose", 0.14, _cfg())
         return fp, plain
 
     fp, plain = once(pair)

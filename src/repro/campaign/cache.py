@@ -1,0 +1,144 @@
+"""Content-addressed run cache.
+
+Every simulation point is keyed by a SHA-256 over its canonical JSON form:
+the :class:`~repro.sim.parallel.Point` (scheme, sorted kwargs, pattern,
+rate, sorted meta), the full :class:`~repro.config.SimConfig`, and a
+code-version salt.  The salt is a hash of the simulator's source files, so
+touching any scheme or network code invalidates every cached result while
+a pure orchestration change (this package) keeps the cache warm.
+
+Results are stored one JSON file per point under ``<root>/<k[:2]>/<k>.json``
+so a cache directory stays browsable and individual points are cheap to
+evict.  Writes are atomic (tempfile + ``os.replace``), so a campaign killed
+mid-write never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.config import RunResult, SimConfig
+from repro.sim.parallel import Point
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Hash of the simulator source (everything except this package)."""
+    global _code_version
+    if _code_version is None:
+        import repro
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("campaign/"):
+                continue
+            h.update(rel.encode())
+            h.update(path.read_bytes())
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+def point_key(point: Point, cfg: SimConfig, salt: str) -> str:
+    """The content address of one (point, config, code-version) run."""
+    payload = {
+        "point": point.to_json(),
+        "cfg": dataclasses.asdict(cfg),
+        "salt": salt,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def result_to_json(res: RunResult) -> dict:
+    return dataclasses.asdict(res)
+
+
+_RESULT_FIELDS = {f.name for f in dataclasses.fields(RunResult)}
+
+
+def result_from_json(d: dict) -> RunResult:
+    return RunResult(**{k: v for k, v in d.items() if k in _RESULT_FIELDS})
+
+
+class RunCache:
+    """Persistent point-result cache rooted at ``root``."""
+
+    def __init__(self, root: str | Path, salt: str | None = None):
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, point: Point, cfg: SimConfig) -> str:
+        return point_key(point, cfg, self.salt)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunResult | None:
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_json(entry["result"])
+
+    def get_point(self, point: Point, cfg: SimConfig) -> RunResult | None:
+        return self.get(self.key_for(point, cfg))
+
+    def put(self, key: str, point: Point, cfg: SimConfig,
+            result: RunResult) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "salt": self.salt,
+            "point": point.to_json(),
+            "cfg": dataclasses.asdict(cfg),
+            "result": result_to_json(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.json"):
+                path.unlink(missing_ok=True)
+                n += 1
+        return n
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,119 @@
+"""Persistent campaign store: point status tracking in sqlite.
+
+The store answers "where was this campaign when it stopped?" — one row per
+point, keyed by the same content address as the run cache:
+
+.. code-block:: sql
+
+    CREATE TABLE points(
+        key      TEXT PRIMARY KEY,   -- cache.point_key(point, cfg, salt)
+        point    TEXT NOT NULL,      -- Point.to_json(), for display
+        status   TEXT NOT NULL,      -- pending | running | done | failed
+        attempts INTEGER NOT NULL,
+        error    TEXT,               -- last failure, if any
+        updated  REAL NOT NULL       -- unix time of the last transition
+    )
+
+Results themselves live in the run cache; the store only tracks status, so
+deleting a store loses progress bookkeeping but never data.  Only the
+campaign parent process writes to it.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+
+from repro.sim.parallel import Point
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS points(
+    key      TEXT PRIMARY KEY,
+    point    TEXT NOT NULL,
+    status   TEXT NOT NULL DEFAULT 'pending',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    error    TEXT,
+    updated  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta(k TEXT PRIMARY KEY, v TEXT);
+CREATE INDEX IF NOT EXISTS idx_points_status ON points(status);
+"""
+
+STATUSES = ("pending", "running", "done", "failed")
+
+
+class CampaignStore:
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._con = sqlite3.connect(self.path)
+        self._con.executescript(_SCHEMA)
+        self._con.commit()
+
+    # ------------------------------------------------------------------
+    def register(self, keyed_points: list[tuple[str, Point]]) -> None:
+        """Add points as ``pending`` (already-known keys are untouched)."""
+        self._con.executemany(
+            "INSERT OR IGNORE INTO points(key, point, status, attempts, "
+            "updated) VALUES(?, ?, 'pending', 0, ?)",
+            [(key, json.dumps(p.to_json()), time.time())
+             for key, p in keyed_points])
+        self._con.commit()
+
+    def mark(self, key: str, status: str, error: str | None = None,
+             attempts: int | None = None) -> None:
+        if status not in STATUSES:
+            raise ValueError(f"unknown status {status!r}")
+        if attempts is None:
+            self._con.execute(
+                "UPDATE points SET status=?, error=?, updated=? "
+                "WHERE key=?", (status, error, time.time(), key))
+        else:
+            self._con.execute(
+                "UPDATE points SET status=?, error=?, attempts=?, "
+                "updated=? WHERE key=?",
+                (status, error, attempts, time.time(), key))
+        self._con.commit()
+
+    def reset_running(self) -> int:
+        """Re-queue points left ``running`` by an interrupted campaign."""
+        cur = self._con.execute(
+            "UPDATE points SET status='pending', updated=? "
+            "WHERE status='running'", (time.time(),))
+        self._con.commit()
+        return cur.rowcount
+
+    # -- queries --------------------------------------------------------
+    def status_of(self, key: str) -> str | None:
+        row = self._con.execute(
+            "SELECT status FROM points WHERE key=?", (key,)).fetchone()
+        return row[0] if row else None
+
+    def counts(self) -> dict[str, int]:
+        out = {s: 0 for s in STATUSES}
+        for status, n in self._con.execute(
+                "SELECT status, COUNT(*) FROM points GROUP BY status"):
+            out[status] = n
+        return out
+
+    def points_with_status(self, status: str) -> list[tuple[str, Point]]:
+        rows = self._con.execute(
+            "SELECT key, point FROM points WHERE status=? ORDER BY key",
+            (status,)).fetchall()
+        return [(key, Point.from_json(json.loads(blob)))
+                for key, blob in rows]
+
+    def failures(self) -> list[tuple[str, str, int]]:
+        """(key, last error, attempts) for every failed point."""
+        return self._con.execute(
+            "SELECT key, COALESCE(error, ''), attempts FROM points "
+            "WHERE status='failed' ORDER BY key").fetchall()
+
+    def __len__(self) -> int:
+        return self._con.execute(
+            "SELECT COUNT(*) FROM points").fetchone()[0]
+
+    def close(self) -> None:
+        self._con.close()

@@ -1,0 +1,115 @@
+"""Point execution: the one place that knows how to run every point kind.
+
+``execute_point`` dispatches on the point's pattern:
+
+* plain pattern (``uniform``, ``transpose``, …) — open-loop synthetic run
+  via :func:`repro.sim.runner.run_point`;
+* ``app:<benchmark>`` — closed-loop application run (Fig. 10/12/13b) with
+  ``txns``/``seed``/``max_cycles`` taken from ``point.meta``;
+* ``stress:protocol`` — the adversarial protocol-pressure probe used by
+  Table I's behavioural verification and Fig. 13c; the result carries
+  ``extra["traffic_done"]``;
+* ``selftest:*`` — tiny deterministic stand-ins (instant results, crashes,
+  hangs) for exercising the executor's fault handling.  Guarded by
+  ``REPRO_CAMPAIGN_SELFTEST=1`` so they can never leak into real sweeps.
+
+It runs inside worker processes, so everything here must stay picklable
+and import its dependencies lazily.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.config import RunResult, SimConfig
+from repro.sim.parallel import Point
+
+
+def execute_point(point: Point, cfg: SimConfig) -> RunResult:
+    pattern = point.pattern
+    if pattern.startswith("selftest:"):
+        return _selftest(point)
+    kwargs = dict(point.scheme_kwargs)
+    meta = dict(point.meta)
+    from repro.schemes import get_scheme
+    scheme = get_scheme(point.scheme, **kwargs)
+    if pattern.startswith("app:"):
+        from repro.sim.engine import Simulation
+        from repro.traffic.workloads import workload_traffic
+        bench = pattern[len("app:"):]
+        traffic = workload_traffic(bench, txns_per_core=meta["txns"],
+                                   seed=meta.get("seed", 1))
+        sim = Simulation(cfg, scheme, traffic)
+        res = sim.run_to_completion(
+            max_cycles=meta.get("max_cycles", 400000))
+        res.extra["benchmark"] = bench
+        res.extra["completed"] = traffic.completed
+        res.extra["total"] = traffic.total_txns
+        return res
+    if pattern == "stress:protocol":
+        from repro.experiments.table1 import deadlock_traffic
+        from repro.sim.engine import Simulation
+        sim = Simulation(cfg, scheme,
+                         deadlock_traffic(seed=meta.get("seed", 7)))
+        res = sim.run_to_completion(
+            max_cycles=meta.get("max_cycles", 80000))
+        res.extra["traffic_done"] = sim.traffic.done()
+        res.extra["completed"] = sim.traffic.completed
+        return res
+    from repro.sim.runner import run_point
+    return run_point(scheme, pattern, point.rate, cfg,
+                     seed=meta.get("seed"))
+
+
+def failed_result(point: Point, error: str) -> RunResult:
+    """Placeholder for a point that exhausted its retries.
+
+    Carries the ``extra`` keys the figure formatters read, so a failed
+    point renders as '-' instead of raising, and is never cached — the
+    next campaign run retries it.
+    """
+    res = RunResult(scheme=point.scheme)
+    res.extra.update({
+        "failed": True,
+        "error": error,
+        "rate": point.rate,
+        "pattern": point.pattern,
+        "measured_generated": 0,
+        "undelivered": 0,
+    })
+    return res
+
+
+# ----------------------------------------------------------------------
+def _selftest(point: Point) -> RunResult:
+    if os.environ.get("REPRO_CAMPAIGN_SELFTEST") != "1":
+        raise ValueError(f"unknown traffic pattern {point.pattern!r}")
+    mode = point.pattern[len("selftest:"):]
+    meta = dict(point.meta)
+    if mode == "ok":
+        res = RunResult(scheme=point.scheme, ejected=1, avg_latency=1.0)
+        res.extra["rate"] = point.rate
+        return res
+    if mode == "fail":
+        raise RuntimeError("selftest: deliberate failure")
+    if mode == "crash":
+        os._exit(3)
+    if mode == "sleep":
+        time.sleep(point.rate)
+        res = RunResult(scheme=point.scheme, ejected=1, avg_latency=1.0)
+        res.extra["rate"] = point.rate
+        return res
+    if mode == "flaky":
+        # Succeed only once a sentinel from the first (failed) attempt
+        # exists: exercises the retry path across process boundaries.
+        sentinel = os.path.join(meta["dir"], f"flaky-{point.rate}")
+        if os.path.exists(sentinel):
+            res = RunResult(scheme=point.scheme, ejected=1,
+                            avg_latency=2.0)
+            res.extra["rate"] = point.rate
+            return res
+        with open(sentinel, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("selftest: flaky first attempt")
+    raise ValueError(f"unknown selftest mode {mode!r}")

@@ -3,8 +3,19 @@
 Usage::
 
     repro-experiments table1 fig7 --full
-    repro-experiments all            # everything, quick mode
+    repro-experiments all --jobs 8       # everything, quick mode, 8 workers
+    repro-experiments campaign run fig7 fig8 --full
+    repro-experiments campaign status
+    repro-experiments campaign clean --cache
     python -m repro.experiments.cli fig11
+
+Every experiment runs through the campaign layer: each simulation point is
+content-addressed and cached under ``results/cache/``, so a rerun (or a
+resume after an interruption) only recomputes points whose inputs — or the
+simulator source — changed.  ``campaign run`` additionally records
+per-point status in ``results/campaigns/<name>.sqlite`` and prints live
+progress/ETA; ``campaign status`` inspects those stores; ``campaign
+clean`` deletes them (and, with ``--cache``, the run cache).
 """
 
 from __future__ import annotations
@@ -14,35 +25,52 @@ import json
 import sys
 import time
 
+from repro.campaign import context as campaign_context
 from repro.experiments import ALL
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Regenerate the tables/figures of the FastPass paper "
-                    "(HPCA 2022).")
-    parser.add_argument("experiments", nargs="+",
-                        help=f"experiment ids ({', '.join(ALL)}) or 'all'")
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--full", action="store_true",
                         help="paper-scale parameters (slow) instead of the "
                              "quick defaults")
+    parser.add_argument("--jobs", type=int, metavar="N", default=None,
+                        help="worker processes for sweep points "
+                             "(default: one per point, capped at the core "
+                             "count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, ignoring the run "
+                             "cache")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump every raw result dict to a JSON "
                              "file")
-    args = parser.parse_args(argv)
 
-    names = list(ALL) if "all" in args.experiments else args.experiments
+
+def _resolve_names(parser, experiments) -> list[str]:
+    names = list(ALL) if "all" in experiments else list(experiments)
     unknown = [n for n in names if n not in ALL]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+    return names
 
+
+def _run_experiments(names: list[str], args,
+                     track_campaign: bool = False,
+                     progress=None) -> int:
+    ctx = campaign_context.get_context()
+    if args.jobs is not None:
+        ctx.jobs = args.jobs
+    if args.no_cache:
+        ctx.enabled = False
     collected = {}
     for name in names:
         module = ALL[name]
         print(f"=== {name} " + "=" * (70 - len(name)))
         t0 = time.time()
-        result = module.run(quick=not args.full)
+        ctx.campaign = name if track_campaign else None
+        try:
+            result = module.run(quick=not args.full)
+        finally:
+            ctx.campaign = None
         print(module.format_result(result))
         print(f"--- {name} done in {time.time() - t0:.1f}s\n")
         collected[name] = result
@@ -51,6 +79,124 @@ def main(argv=None) -> int:
             json.dump(collected, fh, indent=2, default=_jsonable)
         print(f"raw results written to {args.json}")
     return 0
+
+
+# -- campaign subcommands ----------------------------------------------
+
+def _campaign_run(parser, args) -> int:
+    names = _resolve_names(parser, args.experiments)
+
+    last = {"t": 0.0}
+
+    def progress(p):
+        now = time.monotonic()
+        if now - last["t"] < 1.0 and p.finished < p.total:
+            return
+        last["t"] = now
+        eta = f"{p.eta_s:.0f}s" if p.eta_s is not None else "?"
+        print(f"  [{p.finished}/{p.total}] cached={p.cached} "
+              f"computed={p.done} failed={p.failed} "
+              f"running={p.running} ETA {eta}", file=sys.stderr)
+
+    ctx = campaign_context.get_context()
+    ctx.progress = progress
+    try:
+        return _run_experiments(names, args, track_campaign=True)
+    finally:
+        ctx.progress = None
+
+
+def _campaign_status(args) -> int:
+    ctx = campaign_context.get_context()
+    names = args.names or sorted(
+        p.stem for p in ctx.campaign_dir.glob("*.sqlite"))
+    if not names:
+        print("no campaigns recorded "
+              f"(looked in {ctx.campaign_dir})")
+    for name in names:
+        path = ctx.campaign_dir / f"{name}.sqlite"
+        if not path.exists():
+            print(f"{name}: no store at {path}")
+            continue
+        store = ctx.store(name)
+        counts = store.counts()
+        total = sum(counts.values())
+        print(f"{name}: {total} points — " + ", ".join(
+            f"{status}={n}" for status, n in counts.items() if n))
+        for key, error, attempts in store.failures()[:10]:
+            print(f"    failed {key[:12]}… after {attempts} attempts: "
+                  f"{error}")
+    cache = ctx.cache()
+    if cache is not None:
+        print(f"run cache: {len(cache)} entries at {cache.root} "
+              f"(salt {cache.salt})")
+    return 0
+
+
+def _campaign_clean(args) -> int:
+    ctx = campaign_context.get_context()
+    names = args.names
+    if not names and not args.cache:
+        names = sorted(p.stem for p in ctx.campaign_dir.glob("*.sqlite"))
+    ctx.close()
+    for name in names:
+        path = ctx.campaign_dir / f"{name}.sqlite"
+        if path.exists():
+            path.unlink()
+            print(f"removed campaign store {path}")
+    if args.cache:
+        from repro.campaign.cache import RunCache
+        n = RunCache(ctx.cache_dir).clear()
+        print(f"cleared {n} cached results from {ctx.cache_dir}")
+    return 0
+
+
+def _campaign_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments campaign",
+        description="Resumable, cache-first experiment campaigns.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="run experiments as campaigns "
+                                       "(status tracked, resumable)")
+    p_run.add_argument("experiments", nargs="+",
+                       help=f"experiment ids ({', '.join(ALL)}) or 'all'")
+    _add_common_flags(p_run)
+
+    p_status = sub.add_parser("status",
+                              help="show per-campaign point status")
+    p_status.add_argument("names", nargs="*",
+                          help="campaign names (default: all recorded)")
+
+    p_clean = sub.add_parser("clean", help="delete campaign stores "
+                                           "(and optionally the cache)")
+    p_clean.add_argument("names", nargs="*",
+                         help="campaign names (default: all)")
+    p_clean.add_argument("--cache", action="store_true",
+                         help="also clear the content-addressed run cache")
+
+    args = parser.parse_args(argv)
+    if args.cmd == "run":
+        return _campaign_run(parser, args)
+    if args.cmd == "status":
+        return _campaign_status(args)
+    return _campaign_clean(args)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of the FastPass paper "
+                    "(HPCA 2022).")
+    parser.add_argument("experiments", nargs="+",
+                        help=f"experiment ids ({', '.join(ALL)}) or 'all'")
+    _add_common_flags(parser)
+    args = parser.parse_args(argv)
+    names = _resolve_names(parser, args.experiments)
+    return _run_experiments(names, args)
 
 
 def _jsonable(obj):

@@ -1,8 +1,17 @@
-"""Shared experiment infrastructure: configurations and table formatting."""
+"""Shared experiment infrastructure: configurations, campaign-backed
+execution helpers, and table formatting.
+
+Every figure/table script runs its simulation points through the
+``cached_*`` helpers below, which route execution through the campaign
+layer (:mod:`repro.campaign`): points are content-addressed, results are
+cached under ``results/cache/``, and reruns after an interruption (or
+after touching only one scheme) recompute only what changed.
+"""
 
 from __future__ import annotations
 
-from repro.config import SimConfig
+from repro.config import RunResult, SimConfig
+from repro.sim.parallel import Point
 
 #: Fig. 7 comparison set (8x8, synthetic, 4 VCs for FastPass)
 FIG7_SCHEMES = [
@@ -64,6 +73,47 @@ def app_config(quick: bool) -> SimConfig:
 
 def app_txns(quick: bool) -> int:
     return 100 if quick else 400
+
+
+# -- campaign-backed execution -----------------------------------------
+
+def cached_points(points: list[Point], cfg: SimConfig,
+                  jobs: int | None = None) -> list[RunResult]:
+    """Run a batch of points through the campaign layer (cache-first)."""
+    from repro.campaign import run_points
+    return run_points(points, cfg, processes=jobs)
+
+
+def cached_point(scheme_name: str, scheme_kwargs: dict, pattern: str,
+                 rate: float, cfg: SimConfig) -> RunResult:
+    """One synthetic point, cache-first."""
+    point = Point.make(scheme_name, pattern, rate, **scheme_kwargs)
+    return cached_points([point], cfg)[0]
+
+
+def cached_sweep_latency(scheme_name: str, scheme_kwargs: dict,
+                         pattern: str, rates, cfg: SimConfig
+                         ) -> list[RunResult]:
+    """Cache-first latency-vs-rate sweep with the same early-stop rule as
+    :func:`repro.sim.runner.sweep_latency` (stop past saturation)."""
+    out = []
+    for rate in rates:
+        res = cached_point(scheme_name, scheme_kwargs, pattern, rate, cfg)
+        out.append(res)
+        gen = max(1, res.extra.get("measured_generated", 0))
+        if res.deadlocked or res.extra.get("undelivered", 0) > 0.5 * gen:
+            break
+    return out
+
+
+def cached_app(scheme_name: str, scheme_kwargs: dict, benchmark: str,
+               quick: bool, seed: int = 1,
+               max_cycles: int = 400000) -> RunResult:
+    """One closed-loop application run (Fig. 10/12/13b), cache-first."""
+    point = Point.make_app(scheme_name, benchmark, txns=app_txns(quick),
+                           seed=seed, max_cycles=max_cycles,
+                           **scheme_kwargs)
+    return cached_points([point], app_config(quick))[0]
 
 
 def fmt_table(headers: list[str], rows: list[list], widths=None) -> str:

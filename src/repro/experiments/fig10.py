@@ -6,10 +6,7 @@ Execution time is normalized to EscapeVC, as in the paper.
 
 from __future__ import annotations
 
-from repro.experiments.common import FIG10_SCHEMES, app_config, app_txns, fnum
-from repro.schemes import get_scheme
-from repro.sim.engine import Simulation
-from repro.traffic.workloads import workload_traffic
+from repro.experiments.common import FIG10_SCHEMES, cached_app, fnum
 
 BENCHMARKS = ("Radix", "Canneal", "FFT", "FMM", "Lu_cb", "Streamcluster",
               "Volrend")
@@ -17,14 +14,7 @@ BENCHMARKS = ("Radix", "Canneal", "FFT", "FMM", "Lu_cb", "Streamcluster",
 
 def run_app(scheme_label: str, scheme_name: str, scheme_kwargs: dict,
             bench: str, quick: bool, seed: int = 1):
-    cfg = app_config(quick)
-    traffic = workload_traffic(bench, txns_per_core=app_txns(quick),
-                               seed=seed)
-    sim = Simulation(cfg, get_scheme(scheme_name, **scheme_kwargs), traffic)
-    res = sim.run_to_completion(max_cycles=400000)
-    res.extra["completed"] = traffic.completed
-    res.extra["total"] = traffic.total_txns
-    return res
+    return cached_app(scheme_name, scheme_kwargs, bench, quick, seed=seed)
 
 
 def run(quick: bool = True, benchmarks=BENCHMARKS, schemes=None) -> dict:

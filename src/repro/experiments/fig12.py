@@ -34,15 +34,13 @@ def run(quick: bool = True, benchmarks=BENCHMARKS, schemes=None) -> dict:
     # benign); DRAIN's misrouting pathology and FastPass's bypass advantage
     # only separate once the network carries real load, so we exhibit the
     # paper's ordering there.
-    from repro.experiments.common import synthetic_config
-    from repro.sim.runner import run_point
-    from repro.schemes import get_scheme
+    from repro.experiments.common import cached_point, synthetic_config
     cfg = synthetic_config(quick, rows=4 if quick else 8,
                            cols=4 if quick else 8)
     cfg = cfg.with_(drain_period_cycles=600)
     loaded = {}
     for label, name, kwargs in schemes:
-        res = run_point(get_scheme(name, **kwargs), "uniform", 0.10, cfg)
+        res = cached_point(name, kwargs, "uniform", 0.10, cfg)
         loaded[label] = res.p99_latency
     return {"benchmarks": list(benchmarks),
             "schemes": [s[0] for s in schemes],

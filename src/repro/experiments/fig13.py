@@ -10,11 +10,13 @@ far below SCARAB's ~9%).
 
 from __future__ import annotations
 
-from repro.experiments.common import app_config, app_txns, synthetic_config
-from repro.schemes import get_scheme
-from repro.sim.engine import Simulation
-from repro.sim.runner import run_point
-from repro.traffic.workloads import workload_traffic
+from repro.experiments.common import (
+    cached_app,
+    cached_point,
+    cached_points,
+    synthetic_config,
+)
+from repro.sim.parallel import Point
 
 QUICK_RATES = [0.02, 0.06, 0.10, 0.14]
 FULL_RATES = [0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16]
@@ -39,29 +41,22 @@ def run(quick: bool = True, rates=None, benchmarks=BENCHMARKS) -> dict:
     rates = rates or (QUICK_RATES if quick else FULL_RATES)
     uniform = []
     for rate in rates:
-        res = run_point(get_scheme("fastpass", n_vcs=1), "uniform", rate,
-                        cfg)
+        res = cached_point("fastpass", {"n_vcs": 1}, "uniform", rate, cfg)
         uniform.append({"rate": rate, **_breakdown(res)})
     apps = []
     for bench in benchmarks:
-        traffic = workload_traffic(bench, txns_per_core=app_txns(quick))
-        sim = Simulation(app_config(quick),
-                         get_scheme("fastpass", n_vcs=1), traffic)
-        res = sim.run_to_completion(max_cycles=400000)
+        res = cached_app("fastpass", {"n_vcs": 1}, bench, quick)
         apps.append({"benchmark": bench, **_breakdown(res)})
     # (c) the adversarial protocol-pressure scenario: the regime where the
     # dynamic bubble actually drops (and regenerates) requests.  The paper
     # reports 5.9% at synthetic post-saturation and 0.3% for applications;
     # at the loads our substrate reaches, drops only materialise under
     # protocol back-pressure, so this section exhibits the bound.
-    from repro.experiments.table1 import (
-        deadlock_scenario_config,
-        deadlock_traffic,
-    )
-    sim = Simulation(deadlock_scenario_config(),
-                     get_scheme("fastpass", n_vcs=1), deadlock_traffic())
-    res = sim.run_to_completion(max_cycles=120000)
-    stress = {"completed": sim.traffic.done(), **_breakdown(res)}
+    from repro.experiments.table1 import deadlock_scenario_config
+    point = Point.make_stress("fastpass", max_cycles=120000, n_vcs=1)
+    res = cached_points([point], deadlock_scenario_config())[0]
+    stress = {"completed": bool(res.extra.get("traffic_done")),
+              **_breakdown(res)}
     return {"uniform": uniform, "apps": apps, "stress": stress}
 
 

@@ -8,9 +8,12 @@ runner does here.
 
 from __future__ import annotations
 
-from repro.experiments.common import FIG7_SCHEMES, fnum, synthetic_config
-from repro.schemes import get_scheme
-from repro.sim.runner import sweep_latency
+from repro.experiments.common import (
+    FIG7_SCHEMES,
+    cached_sweep_latency,
+    fnum,
+    synthetic_config,
+)
 
 PATTERNS = ("transpose", "shuffle", "bit_rotation")
 
@@ -27,8 +30,8 @@ def run(quick: bool = True, patterns=PATTERNS, schemes=None,
     for pattern in patterns:
         per_pattern = {}
         for label, name, kwargs in schemes:
-            results = sweep_latency(get_scheme(name, **kwargs), pattern,
-                                    rates, cfg)
+            results = cached_sweep_latency(name, kwargs, pattern, rates,
+                                           cfg)
             per_pattern[label] = [
                 (r.extra["rate"], r.avg_latency, r.deadlocked)
                 for r in results

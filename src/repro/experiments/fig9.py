@@ -10,9 +10,7 @@ component grows with load.
 
 from __future__ import annotations
 
-from repro.experiments.common import fnum, synthetic_config
-from repro.schemes import get_scheme
-from repro.sim.runner import run_point
+from repro.experiments.common import cached_point, fnum, synthetic_config
 
 # The 1-VC configuration saturates early; the grids stay inside and just
 # past its saturation point (the paper's Fig. 9 likewise spans low load to
@@ -26,8 +24,7 @@ def run(quick: bool = True, rates=None) -> dict:
     rates = rates or (QUICK_RATES if quick else FULL_RATES)
     rows = []
     for rate in rates:
-        res = run_point(get_scheme("fastpass", n_vcs=1), "uniform", rate,
-                        cfg)
+        res = cached_point("fastpass", {"n_vcs": 1}, "uniform", rate, cfg)
         rows.append({
             "rate": rate,
             "reg_latency": res.reg_latency,

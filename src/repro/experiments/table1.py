@@ -9,7 +9,7 @@ checked by actually running the adversarial protocol-deadlock scenario
 from __future__ import annotations
 
 from repro.config import SimConfig
-from repro.schemes import SCHEMES, get_scheme
+from repro.schemes import SCHEMES
 from repro.traffic.coherence import CoherenceTraffic
 
 COLUMNS = [
@@ -43,13 +43,14 @@ def deadlock_traffic(seed: int = 7) -> CoherenceTraffic:
 def protocol_deadlock_free(scheme_name: str, max_cycles: int = 80000,
                            **scheme_kwargs) -> bool:
     """Behavioural probe: does the scheme complete the adversarial
-    protocol-pressure workload?"""
-    from repro.sim.engine import Simulation
-    sim = Simulation(deadlock_scenario_config(),
-                     get_scheme(scheme_name, **scheme_kwargs),
-                     deadlock_traffic())
-    sim.run_to_completion(max_cycles)
-    return sim.traffic.done()
+    protocol-pressure workload?  Runs through the campaign layer, so the
+    probe result is cached like any other point."""
+    from repro.campaign import run_points
+    from repro.sim.parallel import Point
+    point = Point.make_stress(scheme_name, max_cycles=max_cycles,
+                              **scheme_kwargs)
+    res = run_points([point], deadlock_scenario_config())[0]
+    return bool(res.extra.get("traffic_done"))
 
 
 def run(quick: bool = True, verify: bool = False) -> dict:

@@ -91,4 +91,5 @@ class Simulation:
             self.traffic, "measured_generated", 0)
         res.extra["undelivered"] = (res.extra["measured_generated"]
                                     - stats.ejected_measured)
+        stats.warn_if_empty(self.scheme.label)
         return res

@@ -4,6 +4,12 @@ Sweeps are embarrassingly parallel (every (scheme, pattern, rate) point is
 an independent deterministic simulation), and pure-Python cycle simulation
 is slow enough that using the machine's cores matters.  The workers are
 separate processes, so results are identical to the serial runner.
+
+Execution is delegated to the campaign executor
+(:mod:`repro.campaign.executor`), which adds worker-crash isolation,
+bounded retries and optional wall-clock timeouts on top of the plain
+process pool.  ``parallel_sweep`` keeps its always-recompute semantics
+(no result cache) unless a cache is passed explicitly.
 """
 
 from __future__ import annotations
@@ -16,12 +22,20 @@ from repro.config import RunResult, SimConfig
 
 @dataclass(frozen=True)
 class Point:
-    """One simulation point of a sweep."""
+    """One simulation point of a sweep.
+
+    ``scheme_kwargs`` and ``meta`` are sorted ``(key, value)`` tuples so
+    equal points compare and hash equal regardless of construction order.
+    ``meta`` carries non-scheme execution parameters (benchmark
+    transaction counts, seeds, cycle caps) for closed-loop points; it is
+    empty for plain synthetic points.
+    """
 
     scheme: str
     scheme_kwargs: tuple        # sorted (key, value) pairs, hashable
     pattern: str
     rate: float
+    meta: tuple = ()            # sorted (key, value) pairs, hashable
 
     @staticmethod
     def make(scheme: str, pattern: str, rate: float,
@@ -29,31 +43,68 @@ class Point:
         return Point(scheme, tuple(sorted(scheme_kwargs.items())),
                      pattern, rate)
 
+    @staticmethod
+    def make_app(scheme: str, benchmark: str, txns: int, seed: int = 1,
+                 max_cycles: int = 400000, **scheme_kwargs) -> "Point":
+        """A closed-loop application point (``pattern="app:<benchmark>"``)."""
+        meta = (("max_cycles", max_cycles), ("seed", seed), ("txns", txns))
+        return Point(scheme, tuple(sorted(scheme_kwargs.items())),
+                     f"app:{benchmark}", 0.0, meta)
+
+    @staticmethod
+    def make_stress(scheme: str, max_cycles: int = 80000, seed: int = 7,
+                    **scheme_kwargs) -> "Point":
+        """The adversarial protocol-pressure probe (Table I / Fig. 13c)."""
+        meta = (("max_cycles", max_cycles), ("seed", seed))
+        return Point(scheme, tuple(sorted(scheme_kwargs.items())),
+                     "stress:protocol", 0.0, meta)
+
+    # -- JSON round-trip (the cache-key basis) --------------------------
+    def to_json(self) -> dict:
+        """Canonical JSON form: kwargs/meta as sorted [key, value] lists."""
+        return {
+            "scheme": self.scheme,
+            "scheme_kwargs": [[k, v] for k, v in
+                              sorted(self.scheme_kwargs)],
+            "pattern": self.pattern,
+            "rate": self.rate,
+            "meta": [[k, v] for k, v in sorted(self.meta)],
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Point":
+        return cls(d["scheme"],
+                   tuple(sorted((k, v) for k, v in d["scheme_kwargs"])),
+                   d["pattern"], d["rate"],
+                   tuple(sorted((k, v) for k, v in d.get("meta", ()))))
+
 
 def _run_one(args) -> RunResult:
     point, cfg = args
-    from repro.schemes import get_scheme
-    from repro.sim.runner import run_point
-    scheme = get_scheme(point.scheme, **dict(point.scheme_kwargs))
-    return run_point(scheme, point.pattern, point.rate, cfg)
+    from repro.campaign.worker import execute_point
+    return execute_point(point, cfg)
+
+
+def pool_context() -> mp.context.BaseContext:
+    """Prefer fork where available (cheap, inherits loaded modules)."""
+    return mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
+        else mp.get_context("spawn")
 
 
 def parallel_sweep(points: list[Point], cfg: SimConfig,
-                   processes: int | None = None) -> list[RunResult]:
+                   processes: int | None = None,
+                   cache=None) -> list[RunResult]:
     """Run every point, using up to ``processes`` worker processes.
 
     Results come back in the order of ``points``.  With ``processes=1``
     (or a single point) everything runs in-process — handy for debugging
-    and for platforms where fork is unavailable.
+    and for platforms where fork is unavailable.  Pass a
+    :class:`repro.campaign.cache.RunCache` as ``cache`` to make the sweep
+    incremental; the default recomputes every point.
     """
-    jobs = [(p, cfg) for p in points]
-    if processes == 1 or len(points) <= 1:
-        return [_run_one(job) for job in jobs]
-    procs = processes or min(len(points), mp.cpu_count())
-    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() \
-        else mp.get_context("spawn")
-    with ctx.Pool(procs) as pool:
-        return pool.map(_run_one, jobs)
+    from repro.campaign.executor import CampaignExecutor
+    ex = CampaignExecutor(cfg, cache=cache, store=None, processes=processes)
+    return ex.run(points)
 
 
 def grid(schemes: list[tuple], patterns: list[str],

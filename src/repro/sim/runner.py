@@ -58,23 +58,28 @@ def is_saturated(res: RunResult, zero_load: float) -> bool:
 
 def saturation_throughput(scheme: Scheme | str, pattern: str,
                           cfg: SimConfig, lo: float = 0.01, hi: float = 0.7,
-                          iters: int = 7) -> float:
+                          iters: int = 7, run_point_fn=None) -> float:
     """Binary search for the saturation injection rate of a scheme.
 
     Returns the highest tested rate that was still below saturation
-    (packets/node/cycle).
+    (packets/node/cycle).  ``run_point_fn(rate) -> RunResult`` overrides
+    how each probe point executes — the campaign layer passes a
+    cache-first runner here so reruns of Fig. 8 only simulate rates the
+    search has not visited before.
     """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
-    zero = run_point(scheme, pattern, lo, cfg).avg_latency
+    rp = run_point_fn or \
+        (lambda rate: run_point(scheme, pattern, rate, cfg))
+    zero = rp(lo).avg_latency
     if zero != zero:  # zero-load run produced no packets: widen
         zero = 50.0
-    if not is_saturated(run_point(scheme, pattern, hi, cfg), zero):
+    if not is_saturated(rp(hi), zero):
         return hi
     good = lo
     for _ in range(iters):
         mid = 0.5 * (good + hi)
-        if is_saturated(run_point(scheme, pattern, mid, cfg), zero):
+        if is_saturated(rp(mid), zero):
             hi = mid
         else:
             good = mid

@@ -8,16 +8,25 @@ split their latency into *buffered* (regular) time before the upgrade and
 
 from __future__ import annotations
 
+import logging
 import math
+
+log = logging.getLogger("repro.sim.stats")
 
 
 def percentile(sorted_vals, q: float) -> float:
-    """Nearest-rank percentile of a pre-sorted sequence."""
-    if not sorted_vals:
+    """Nearest-rank percentile of a pre-sorted sequence.
+
+    NaN-safe: NaN samples are ignored (NaN sorts unpredictably, so a
+    single one would otherwise silently corrupt the rank), and an empty
+    sample set yields NaN — which the table formatters render as '-'.
+    """
+    vals = [v for v in sorted_vals if v == v]
+    if not vals:
         return float("nan")
-    k = max(0, min(len(sorted_vals) - 1,
-                   math.ceil(q / 100.0 * len(sorted_vals)) - 1))
-    return float(sorted_vals[k])
+    k = max(0, min(len(vals) - 1,
+                   math.ceil(q / 100.0 * len(vals)) - 1))
+    return float(vals[k])
 
 
 class StatsCollector:
@@ -68,7 +77,21 @@ class StatsCollector:
         return percentile(sorted(self.latencies), 99.0)
 
     def mean(self, vals) -> float:
+        vals = [v for v in vals if v == v]
         return sum(vals) / len(vals) if vals else float("nan")
+
+    def warn_if_empty(self, label: str) -> bool:
+        """Log (once per run) when no measured packet was delivered.
+
+        The latency columns of such a point are NaN by construction;
+        without the warning that NaN propagates silently into the figure
+        tables.  Returns True when the run was empty.
+        """
+        if self.ejected_measured:
+            return False
+        log.warning("run %s delivered zero measured packets; "
+                    "latency statistics are NaN", label)
+        return True
 
     def throughput(self, n_nodes: int, cycles: int) -> float:
         """Measured-window ejections per node per cycle."""

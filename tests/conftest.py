@@ -18,12 +18,53 @@ def _reset_pid_counter():
     yield
 
 
+@pytest.fixture(autouse=True)
+def _campaign_isolation(tmp_path):
+    """Point the campaign layer at a per-test directory.
+
+    Without this, any test that touches an experiment module would write
+    cached results into the repository's ``results/`` tree and could see
+    stale results from earlier tests.
+    """
+    from repro.campaign import context
+    context.configure(cache_dir=tmp_path / "cache",
+                      campaign_dir=tmp_path / "campaigns",
+                      enabled=True, jobs=None, campaign=None,
+                      progress=None)
+    yield
+    context.reset()
+
+
+@pytest.fixture
+def tmp_cache_dir(tmp_path) -> "Path":
+    """The run-cache directory the campaign layer uses in this test."""
+    from repro.campaign import context
+    return context.get_context().cache_dir
+
+
 @pytest.fixture
 def small_cfg() -> SimConfig:
     """4x4 mesh with short windows and a small FastPass slot: fast tests."""
     return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=400,
                      drain_cycles=1200, watchdog_cycles=800,
                      fastpass_slot_cycles=64)
+
+
+@pytest.fixture
+def fastpass_sim(small_cfg):
+    """Factory for ready-to-run FastPass simulations on the small mesh."""
+    from repro.schemes import get_scheme
+    from repro.sim.engine import Simulation
+    from repro.traffic.synthetic import SyntheticTraffic
+
+    def _make(pattern: str = "uniform", rate: float = 0.05,
+              n_vcs: int = 2, cfg: SimConfig | None = None,
+              seed: int = 1) -> Simulation:
+        cfg = cfg or small_cfg
+        return Simulation(cfg, get_scheme("fastpass", n_vcs=n_vcs),
+                          SyntheticTraffic(pattern, rate, seed=seed))
+
+    return _make
 
 
 @pytest.fixture

@@ -1,0 +1,111 @@
+"""Unit tests for the content-addressed run cache."""
+
+import json
+import math
+
+from repro.campaign.cache import (
+    RunCache,
+    code_version,
+    point_key,
+    result_from_json,
+    result_to_json,
+)
+from repro.config import RunResult, SimConfig
+from repro.sim.parallel import Point
+
+
+def _res(**kw) -> RunResult:
+    # Finite values everywhere: NaN breaks == in round-trip assertions.
+    res = RunResult(scheme="Test", ejected=10, avg_latency=12.5,
+                    p99_latency=40.0, throughput=0.1, cycles=1000,
+                    fp_buffered_time=1.0, fp_bufferless_time=2.0,
+                    reg_latency=3.0)
+    for key, value in kw.items():
+        setattr(res, key, value)
+    return res
+
+
+class TestPointKey:
+    def test_stable_across_calls(self, small_cfg):
+        p = Point.make("fastpass", "uniform", 0.1, n_vcs=2)
+        assert point_key(p, small_cfg, "s") == point_key(p, small_cfg, "s")
+
+    def test_kwarg_order_irrelevant(self, small_cfg):
+        a = Point("x", (("a", 1), ("b", 2)), "uniform", 0.1)
+        b = Point("x", (("b", 2), ("a", 1)), "uniform", 0.1)
+        assert point_key(a, small_cfg, "s") == point_key(b, small_cfg, "s")
+
+    def test_distinct_points_distinct_keys(self, small_cfg):
+        a = Point.make("fastpass", "uniform", 0.1, n_vcs=2)
+        b = Point.make("fastpass", "uniform", 0.1, n_vcs=4)
+        c = Point.make("fastpass", "uniform", 0.2, n_vcs=2)
+        keys = {point_key(p, small_cfg, "s") for p in (a, b, c)}
+        assert len(keys) == 3
+
+    def test_config_changes_key(self, small_cfg):
+        p = Point.make("fastpass", "uniform", 0.1)
+        assert point_key(p, small_cfg, "s") != \
+            point_key(p, small_cfg.with_(measure_cycles=999), "s")
+
+    def test_salt_changes_key(self, small_cfg):
+        p = Point.make("fastpass", "uniform", 0.1)
+        assert point_key(p, small_cfg, "a") != point_key(p, small_cfg, "b")
+
+
+class TestResultJson:
+    def test_round_trip(self):
+        res = _res()
+        res.extra["rate"] = 0.1
+        back = result_from_json(json.loads(json.dumps(result_to_json(res))))
+        assert back == res
+
+    def test_nan_fields_survive(self):
+        res = _res(avg_latency=float("nan"))
+        back = result_from_json(json.loads(json.dumps(result_to_json(res))))
+        assert math.isnan(back.avg_latency)
+
+    def test_unknown_fields_ignored(self):
+        blob = result_to_json(_res())
+        blob["from_the_future"] = 1
+        assert result_from_json(blob).scheme == "Test"
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, tmp_path, small_cfg):
+        cache = RunCache(tmp_path, salt="s")
+        p = Point.make("fastpass", "uniform", 0.1, n_vcs=2)
+        key = cache.key_for(p, small_cfg)
+        assert cache.get(key) is None
+        cache.put(key, p, small_cfg, _res())
+        hit = cache.get(key)
+        assert hit is not None and hit.avg_latency == 12.5
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1
+
+    def test_version_salt_invalidates(self, tmp_path, small_cfg):
+        p = Point.make("fastpass", "uniform", 0.1)
+        old = RunCache(tmp_path, salt="v1")
+        old.put(old.key_for(p, small_cfg), p, small_cfg, _res())
+        new = RunCache(tmp_path, salt="v2")
+        assert new.get_point(p, small_cfg) is None
+        assert old.get_point(p, small_cfg) is not None
+
+    def test_clear(self, tmp_path, small_cfg):
+        cache = RunCache(tmp_path, salt="s")
+        p = Point.make("fastpass", "uniform", 0.1)
+        cache.put(cache.key_for(p, small_cfg), p, small_cfg, _res())
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, small_cfg):
+        cache = RunCache(tmp_path, salt="s")
+        p = Point.make("fastpass", "uniform", 0.1)
+        key = cache.key_for(p, small_cfg)
+        cache.put(key, p, small_cfg, _res())
+        path = cache._path(key)
+        path.write_text("{ truncated")
+        assert cache.get(key) is None
+
+    def test_default_salt_is_code_version(self, tmp_path):
+        assert RunCache(tmp_path).salt == code_version()
+        assert len(code_version()) == 16

@@ -1,0 +1,140 @@
+"""Unit tests for the campaign store and the fault-tolerant executor.
+
+The fault-injection points (``selftest:*`` patterns) are only honoured
+when ``REPRO_CAMPAIGN_SELFTEST=1``, so they can never appear in a real
+sweep.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import RetryPolicy, RunCache
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.store import CampaignStore
+from repro.sim.parallel import Point
+
+
+@pytest.fixture
+def selftest(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_SELFTEST", "1")
+
+
+class TestStore:
+    def test_register_and_counts(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.sqlite")
+        pts = [("k1", Point.make("a", "uniform", 0.1)),
+               ("k2", Point.make("b", "uniform", 0.2))]
+        store.register(pts)
+        store.register(pts)  # idempotent
+        assert len(store) == 2
+        assert store.counts()["pending"] == 2
+
+    def test_mark_transitions(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.sqlite")
+        store.register([("k1", Point.make("a", "uniform", 0.1))])
+        store.mark("k1", "running")
+        assert store.status_of("k1") == "running"
+        store.mark("k1", "failed", error="boom", attempts=3)
+        assert store.failures() == [("k1", "boom", 3)]
+        with pytest.raises(ValueError):
+            store.mark("k1", "exploded")
+
+    def test_reset_running_requeues(self, tmp_path):
+        store = CampaignStore(tmp_path / "c.sqlite")
+        store.register([("k1", Point.make("a", "uniform", 0.1)),
+                        ("k2", Point.make("b", "uniform", 0.2))])
+        store.mark("k1", "running")
+        assert store.reset_running() == 1
+        assert store.counts() == {"pending": 2, "running": 0, "done": 0,
+                                  "failed": 0}
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "c.sqlite"
+        store = CampaignStore(path)
+        point = Point.make("a", "uniform", 0.1, n_vcs=2)
+        store.register([("k1", point)])
+        store.mark("k1", "done")
+        store.close()
+        again = CampaignStore(path)
+        assert again.status_of("k1") == "done"
+        assert again.points_with_status("done") == [("k1", point)]
+
+
+class TestExecutorFaults:
+    def test_crash_isolated_from_campaign(self, selftest, small_cfg):
+        pts = [Point.make("x", "selftest:crash", 0.0),
+               Point.make("x", "selftest:ok", 1.0),
+               Point.make("x", "selftest:ok", 2.0)]
+        ex = CampaignExecutor(small_cfg, processes=2,
+                              retry=RetryPolicy(max_attempts=2,
+                                                backoff_s=0.01))
+        results = ex.run(pts)
+        assert results[0].extra.get("failed")
+        assert "crash" in results[0].extra["error"]
+        assert results[1].ejected == 1 and results[2].ejected == 1
+        assert ex.summary["failed"] == 1 and ex.summary["computed"] == 2
+
+    def test_failure_marks_store_without_killing_run(self, selftest,
+                                                     small_cfg, tmp_path):
+        store = CampaignStore(tmp_path / "c.sqlite")
+        pts = [Point.make("x", "selftest:fail", 0.0),
+               Point.make("x", "selftest:ok", 1.0)]
+        ex = CampaignExecutor(small_cfg, store=store, processes=1,
+                              retry=RetryPolicy(max_attempts=2,
+                                                backoff_s=0.01))
+        results = ex.run(pts)
+        assert results[0].extra.get("failed")
+        counts = store.counts()
+        assert counts["failed"] == 1 and counts["done"] == 1
+        (_key, error, attempts) = store.failures()[0]
+        assert "deliberate failure" in error and attempts == 2
+
+    def test_timeout_terminates_point(self, selftest, small_cfg):
+        pts = [Point.make("x", "selftest:sleep", 10.0)]
+        ex = CampaignExecutor(small_cfg, processes=2,
+                              retry=RetryPolicy(max_attempts=1,
+                                                timeout_s=0.3))
+        t0 = time.monotonic()
+        results = ex.run(pts)
+        assert time.monotonic() - t0 < 5.0
+        assert results[0].extra.get("failed")
+        assert "timeout" in results[0].extra["error"]
+
+    def test_retry_recovers_flaky_point(self, selftest, small_cfg,
+                                        tmp_path):
+        flaky = Point("x", (), "selftest:flaky", 0.5,
+                      (("dir", str(tmp_path)),))
+        ex = CampaignExecutor(small_cfg, processes=2,
+                              retry=RetryPolicy(max_attempts=3,
+                                                backoff_s=0.01))
+        results = ex.run([flaky])
+        assert not results[0].extra.get("failed")
+        assert results[0].avg_latency == 2.0
+
+    def test_failed_points_are_not_cached(self, selftest, small_cfg,
+                                          tmp_path):
+        cache = RunCache(tmp_path / "cache", salt="s")
+        pts = [Point.make("x", "selftest:fail", 0.0)]
+        ex = CampaignExecutor(small_cfg, cache=cache, processes=1,
+                              retry=RetryPolicy(max_attempts=1,
+                                                backoff_s=0.01))
+        assert ex.run(pts)[0].extra.get("failed")
+        assert len(cache) == 0
+
+    def test_duplicate_points_computed_once(self, selftest, small_cfg):
+        point = Point.make("x", "selftest:ok", 1.0)
+        ex = CampaignExecutor(small_cfg, processes=1)
+        results = ex.run([point, point, point])
+        assert len(results) == 3
+        assert ex.summary["computed"] == 1
+
+    def test_progress_reports_completion(self, selftest, small_cfg):
+        events = []
+        pts = [Point.make("x", "selftest:ok", float(i)) for i in range(3)]
+        ex = CampaignExecutor(small_cfg, processes=1,
+                              progress=events.append)
+        ex.run(pts)
+        assert events[-1].finished == 3
+        assert events[-1].total == 3
+        assert events[-1].eta_s == 0.0

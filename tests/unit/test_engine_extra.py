@@ -53,6 +53,12 @@ class TestDeterminism:
 
         assert run(1) != run(2)
 
+    def test_fastpass_fixture_deterministic(self, fastpass_sim):
+        a = fastpass_sim(rate=0.05).run()
+        b = fastpass_sim(rate=0.05).run()
+        assert a.ejected > 0
+        assert (a.avg_latency, a.ejected) == (b.avg_latency, b.ejected)
+
 
 class TestRunModes:
     def test_run_to_completion_respects_cap(self):
@@ -70,9 +76,14 @@ class TestRunModes:
         assert res.extra["rate"] == 0.05
         assert "undelivered" in res.extra
 
-    def test_nan_latency_when_no_traffic(self, small_cfg):
+    def test_nan_latency_when_no_traffic(self, small_cfg, caplog):
+        import logging
         sim = Simulation(small_cfg, get_scheme("escapevc"),
                          SyntheticTraffic("uniform", 0.0, seed=1))
-        res = sim.run()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.stats"):
+            res = sim.run()
         assert res.avg_latency != res.avg_latency
         assert res.ejected == 0
+        # The empty measurement window is reported, not silently NaN.
+        assert any("zero measured packets" in rec.message
+                   for rec in caplog.records)

@@ -1,12 +1,8 @@
-"""Unit tests for the parallel sweep runner."""
+"""Unit tests for the parallel sweep runner and Point serialization."""
 
-from repro.config import SimConfig
+import json
+
 from repro.sim.parallel import Point, grid, parallel_sweep
-
-
-def cfg():
-    return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=300,
-                     drain_cycles=800, fastpass_slot_cycles=64)
 
 
 class TestGrid:
@@ -21,25 +17,58 @@ class TestGrid:
         assert p.scheme_kwargs == (("n_vcs", 4),)
 
 
+class TestPointJson:
+    def test_round_trip(self):
+        p = Point.make("fastpass", "transpose", 0.12, n_vcs=4)
+        assert Point.from_json(p.to_json()) == p
+
+    def test_round_trip_through_json_text(self):
+        p = Point.make_app("fastpass", "Radix", txns=100, seed=3, n_vcs=2)
+        blob = json.dumps(p.to_json())
+        assert Point.from_json(json.loads(blob)) == p
+
+    def test_kwargs_order_is_stable(self):
+        a = Point("x", (("a", 1), ("b", 2)), "uniform", 0.1)
+        b = Point("x", (("b", 2), ("a", 1)), "uniform", 0.1)
+        assert Point.from_json(a.to_json()) == Point.from_json(b.to_json())
+        assert (json.dumps(a.to_json(), sort_keys=True)
+                == json.dumps(b.to_json(), sort_keys=True))
+
+    def test_meta_defaults_empty(self):
+        p = Point.make("escapevc", "uniform", 0.05)
+        assert p.meta == ()
+        assert Point.from_json({"scheme": "escapevc",
+                                "scheme_kwargs": [], "pattern": "uniform",
+                                "rate": 0.05}) == p
+
+    def test_make_stress_and_app_patterns(self):
+        s = Point.make_stress("fastpass", max_cycles=1000, n_vcs=1)
+        assert s.pattern == "stress:protocol"
+        assert dict(s.meta)["max_cycles"] == 1000
+        a = Point.make_app("spin", "FFT", txns=50)
+        assert a.pattern == "app:FFT"
+        assert dict(a.meta)["txns"] == 50
+
+
 class TestExecution:
-    def test_serial_results_in_order(self):
+    def test_serial_results_in_order(self, small_cfg):
         pts = grid([("escapevc", {})], ["uniform"], [0.02, 0.05])
-        results = parallel_sweep(pts, cfg(), processes=1)
+        results = parallel_sweep(pts, small_cfg, processes=1)
         assert len(results) == 2
         assert results[0].extra["rate"] == 0.02
         assert results[1].extra["rate"] == 0.05
 
-    def test_parallel_matches_serial(self):
+    def test_parallel_matches_serial(self, small_cfg):
         pts = grid([("escapevc", {}), ("fastpass", {"n_vcs": 2})],
                    ["uniform"], [0.04])
-        serial = parallel_sweep(pts, cfg(), processes=1)
-        para = parallel_sweep(pts, cfg(), processes=2)
+        serial = parallel_sweep(pts, small_cfg, processes=1)
+        para = parallel_sweep(pts, small_cfg, processes=2)
         for s, p in zip(serial, para):
             assert s.avg_latency == p.avg_latency
             assert s.ejected == p.ejected
 
-    def test_single_point_short_circuits(self):
+    def test_single_point_short_circuits(self, small_cfg):
         pts = [Point.make("escapevc", "uniform", 0.03)]
-        results = parallel_sweep(pts, cfg(), processes=8)
+        results = parallel_sweep(pts, small_cfg, processes=8)
         assert len(results) == 1
         assert results[0].ejected > 0

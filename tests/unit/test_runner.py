@@ -1,8 +1,9 @@
-"""Unit tests for the engine and the sweep/saturation runners."""
+"""Unit tests for the engine and the sweep/saturation runners.
 
-import pytest
+Uses the shared ``small_cfg`` fixture from tests/conftest.py.
+"""
 
-from repro.config import RunResult, SimConfig
+from repro.config import RunResult
 from repro.schemes import get_scheme
 from repro.sim.engine import Simulation, build_network
 from repro.sim.runner import (
@@ -14,77 +15,71 @@ from repro.sim.runner import (
 from repro.traffic.synthetic import SyntheticTraffic
 
 
-@pytest.fixture
-def cfg():
-    return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=400,
-                     drain_cycles=1200, fastpass_slot_cycles=64)
-
-
 class TestBuildNetwork:
-    def test_scheme_config_applied(self, cfg):
-        net = build_network(cfg, get_scheme("fastpass", n_vcs=4))
+    def test_scheme_config_applied(self, small_cfg):
+        net = build_network(small_cfg, get_scheme("fastpass", n_vcs=4))
         assert net.cfg.n_vns == 1
         assert net.cfg.n_vcs == 4
 
-    def test_router_class_applied(self, cfg):
+    def test_router_class_applied(self, small_cfg):
         from repro.schemes.minbd import MinBDRouter
-        net = build_network(cfg, get_scheme("minbd"))
+        net = build_network(small_cfg, get_scheme("minbd"))
         assert isinstance(net.routers[0], MinBDRouter)
 
 
 class TestSimulation:
-    def test_run_produces_result(self, cfg):
-        sim = Simulation(cfg, get_scheme("escapevc"),
+    def test_run_produces_result(self, small_cfg):
+        sim = Simulation(small_cfg, get_scheme("escapevc"),
                          SyntheticTraffic("uniform", 0.05, seed=1))
         res = sim.run()
         assert isinstance(res, RunResult)
         assert res.ejected > 0
         assert res.throughput > 0
-        assert res.cycles >= cfg.warmup_cycles + cfg.measure_cycles
+        assert res.cycles >= small_cfg.warmup_cycles + small_cfg.measure_cycles
 
-    def test_drain_stops_when_complete(self, cfg):
-        sim = Simulation(cfg, get_scheme("escapevc"),
+    def test_drain_stops_when_complete(self, small_cfg):
+        sim = Simulation(small_cfg, get_scheme("escapevc"),
                          SyntheticTraffic("uniform", 0.02, seed=1))
         res = sim.run()
         assert res.extra["undelivered"] == 0
-        assert res.cycles < cfg.warmup_cycles + cfg.measure_cycles + \
-            cfg.drain_cycles
+        assert res.cycles < small_cfg.warmup_cycles + small_cfg.measure_cycles + \
+            small_cfg.drain_cycles
 
-    def test_deterministic(self, cfg):
-        r1 = run_point("escapevc", "uniform", 0.05, cfg)
-        r2 = run_point("escapevc", "uniform", 0.05, cfg)
+    def test_deterministic(self, small_cfg):
+        r1 = run_point("escapevc", "uniform", 0.05, small_cfg)
+        r2 = run_point("escapevc", "uniform", 0.05, small_cfg)
         assert r1.avg_latency == r2.avg_latency
         assert r1.ejected == r2.ejected
 
 
 class TestRunPoint:
-    def test_accepts_scheme_name(self, cfg):
-        res = run_point("fastpass", "transpose", 0.05, cfg)
+    def test_accepts_scheme_name(self, small_cfg):
+        res = run_point("fastpass", "transpose", 0.05, small_cfg)
         assert "FastPass" in res.scheme
         assert res.extra["rate"] == 0.05
         assert res.extra["pattern"] == "transpose"
 
-    def test_accepts_scheme_instance(self, cfg):
-        res = run_point(get_scheme("swap"), "uniform", 0.05, cfg)
+    def test_accepts_scheme_instance(self, small_cfg):
+        res = run_point(get_scheme("swap"), "uniform", 0.05, small_cfg)
         assert res.ejected > 0
 
 
 class TestSweep:
-    def test_sweep_returns_point_per_rate(self, cfg):
-        results = sweep_latency("escapevc", "uniform", [0.02, 0.05], cfg)
+    def test_sweep_returns_point_per_rate(self, small_cfg):
+        results = sweep_latency("escapevc", "uniform", [0.02, 0.05], small_cfg)
         assert len(results) == 2
         assert results[0].extra["rate"] == 0.02
 
-    def test_sweep_stops_after_collapse(self, cfg):
+    def test_sweep_stops_after_collapse(self, small_cfg):
         # a short drain window keeps the post-saturation backlog visible
-        tight = cfg.with_(drain_cycles=50)
+        tight = small_cfg.with_(drain_cycles=50)
         results = sweep_latency("baseline", "transpose",
                                 [0.02, 0.6, 0.65, 0.7], tight)
         assert len(results) < 4
 
-    def test_latency_monotone_at_extremes(self, cfg):
-        lo = run_point("escapevc", "uniform", 0.02, cfg)
-        hi = run_point("escapevc", "uniform", 0.30, cfg)
+    def test_latency_monotone_at_extremes(self, small_cfg):
+        lo = run_point("escapevc", "uniform", 0.02, small_cfg)
+        hi = run_point("escapevc", "uniform", 0.30, small_cfg)
         assert hi.avg_latency > lo.avg_latency
 
 
@@ -110,7 +105,7 @@ class TestSaturation:
         res.deadlocked = True
         assert is_saturated(res, zero_load=10.0)
 
-    def test_search_brackets_reasonably(self, cfg):
-        sat = saturation_throughput("escapevc", "uniform", cfg,
+    def test_search_brackets_reasonably(self, small_cfg):
+        sat = saturation_throughput("escapevc", "uniform", small_cfg,
                                     lo=0.02, hi=0.6, iters=3)
         assert 0.02 <= sat < 0.6

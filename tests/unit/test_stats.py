@@ -88,3 +88,34 @@ class TestStatsCollector:
     def test_mean_empty_is_nan(self):
         s = StatsCollector()
         assert s.mean([]) != s.mean([])
+
+
+class TestNaNSafety:
+    def test_percentile_skips_nan_samples(self):
+        nan = float("nan")
+        assert percentile([1.0, 2.0, 3.0, nan], 100) == 3.0
+        assert percentile(sorted([nan, 5.0]), 50) == 5.0
+
+    def test_percentile_all_nan_is_nan(self):
+        nan = float("nan")
+        assert percentile([nan, nan], 99) != percentile([nan, nan], 99)
+
+    def test_mean_skips_nan_samples(self):
+        s = StatsCollector()
+        assert s.mean([2.0, float("nan"), 4.0]) == 3.0
+
+    def test_warn_if_empty_logs(self, caplog):
+        import logging
+        s = StatsCollector()
+        with caplog.at_level(logging.WARNING, logger="repro.sim.stats"):
+            assert s.warn_if_empty("TestScheme")
+        assert any("zero measured packets" in rec.message
+                   for rec in caplog.records)
+
+    def test_warn_if_empty_quiet_when_measured(self, caplog):
+        import logging
+        s = StatsCollector()
+        s.record_ejected(_pkt())
+        with caplog.at_level(logging.WARNING, logger="repro.sim.stats"):
+            assert not s.warn_if_empty("TestScheme")
+        assert not caplog.records
