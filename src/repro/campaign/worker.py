@@ -58,8 +58,13 @@ def execute_point(point: Point, cfg: SimConfig) -> RunResult:
         res.extra["completed"] = sim.traffic.completed
         return res
     from repro.sim.runner import run_point
+    token = meta.get("faults")
+    if token:
+        from repro.fault.plan import FaultPlan
+        cfg = cfg.with_(fault_plan=FaultPlan.from_token(token))
     return run_point(scheme, pattern, point.rate, cfg,
-                     seed=meta.get("seed"))
+                     seed=meta.get("seed"),
+                     traffic_stop=meta.get("traffic_stop"))
 
 
 def failed_result(point: Point, error: str) -> RunResult:

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.fault.plan import FaultPlan
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -53,6 +55,22 @@ class SimConfig:
     drain_period_cycles: int = 64000
     pitstop_token_cycles: int = 8   # cycles the bypass token rests per router
 
+    # Robustness surface ------------------------------------------------
+    #: fault schedule for this run; ``None`` disables the injector entirely
+    #: (the hot path then carries no fault checks beyond one None test).
+    fault_plan: FaultPlan | None = None
+    #: run ``check_invariants`` every N cycles (0 = off).  Expensive —
+    #: meant for tests and debugging, not sweeps.
+    paranoia: int = 0
+    #: write a JSON post-mortem under ``<results>/diagnostics/`` when the
+    #: watchdog fires.
+    postmortem: bool = False
+    #: audit buffered packets against the guaranteed-delivery bound.
+    liveness_audit: bool = False
+    #: explicit delivery bound override (0 = derive from the schedule
+    #: geometry, or from the watchdog threshold for schedule-less schemes).
+    liveness_bound_cycles: int = 0
+
     def __post_init__(self):
         if self.rows < 2 or self.cols < 2:
             raise ValueError("mesh must be at least 2x2")
@@ -67,6 +85,13 @@ class SimConfig:
         if self.fastpass_slot_cycles is not None \
                 and self.fastpass_slot_cycles < 1:
             raise ValueError("FastPass slot must be positive")
+        if self.paranoia < 0:
+            raise ValueError("paranoia interval must be non-negative")
+        if self.liveness_bound_cycles < 0:
+            raise ValueError("liveness bound must be non-negative")
+        if self.fault_plan is not None \
+                and not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan or None")
 
     @property
     def n_routers(self) -> int:
@@ -118,4 +143,9 @@ class RunResult:
     fp_buffered_time: float = float("nan")
     fp_bufferless_time: float = float("nan")
     reg_latency: float = float("nan")
+    # Robustness: packets delivered while / after faults were active, their
+    # mean latency, and liveness-audit verdict (0 when auditing is off).
+    degraded_delivered: int = 0
+    degraded_latency: float = float("nan")
+    liveness_violations: int = 0
     extra: dict = field(default_factory=dict)

@@ -60,7 +60,17 @@ class FastPassManager:
         if pkt.dst == prime or pkt.dst % self.mesh.cols != tcol:
             return False
         rt = self.engine.round_trip_cycles(prime, pkt.dst, pkt.size)
-        return now + rt <= slot_end
+        if now + rt > slot_end:
+            return False
+        # Lane-schedule degradation: a prime never launches onto a lane
+        # whose forward or return path crosses a dead link, or whose
+        # lookahead signal is currently dropped (schemes declare the
+        # capability via fault_caps.lane_skip).
+        faults = self.net.faults
+        if faults is not None and not faults.lane_ok(prime, pkt.dst, now,
+                                                     pkt.size):
+            return False
+        return True
 
     def _select(self, c: int, prime: int, tcol: int, now: int,
                 slot_end: int):

@@ -7,6 +7,7 @@ Usage::
     repro-experiments campaign run fig7 fig8 --full
     repro-experiments campaign status
     repro-experiments campaign clean --cache
+    repro-experiments faults sweep --modes cut --rates 0.05
     python -m repro.experiments.cli fig11
 
 Every experiment runs through the campaign layer: each simulation point is
@@ -183,10 +184,91 @@ def _campaign_main(argv: list[str]) -> int:
     return _campaign_clean(args)
 
 
+# -- faults subcommands -------------------------------------------------
+
+def _csv(text: str) -> list[str]:
+    return [t for t in (s.strip() for s in text.split(",")) if t]
+
+
+def _faults_sweep(parser, args) -> int:
+    from repro.experiments import faults
+
+    schemes = faults.SCHEMES
+    if args.schemes:
+        wanted = _csv(args.schemes)
+        by_name = {name: (label, name, kw)
+                   for label, name, kw in faults.SCHEMES}
+        unknown = [n for n in wanted if n not in by_name]
+        if unknown:
+            parser.error(f"unknown fault-sweep schemes: {unknown} "
+                         f"(choose from {sorted(by_name)})")
+        schemes = [by_name[n] for n in wanted]
+    modes = _csv(args.modes) if args.modes else list(faults.MODES)
+    bad = [m for m in modes if m not in faults.MODES]
+    if bad:
+        parser.error(f"unknown fault modes: {bad} "
+                     f"(choose from {list(faults.MODES)})")
+    rates = [float(r) for r in _csv(args.rates)] if args.rates else None
+    fault_rates = [float(r) for r in _csv(args.fault_rates)] \
+        if args.fault_rates else None
+
+    ctx = campaign_context.get_context()
+    if args.jobs is not None:
+        ctx.jobs = args.jobs
+    if args.no_cache:
+        ctx.enabled = False
+    ctx.campaign = "faults"
+    t0 = time.time()
+    try:
+        result = faults.run(quick=not args.full, schemes=schemes,
+                            rates=rates, fault_rates=fault_rates,
+                            modes=modes)
+    finally:
+        ctx.campaign = None
+    print(faults.format_result(result))
+    print(f"--- faults sweep done in {time.time() - t0:.1f}s")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, default=_jsonable)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+def _faults_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments faults",
+        description="Fault-injection robustness sweeps (fault rate x "
+                    "load), certifying graceful degradation and the "
+                    "guaranteed-delivery bound.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep fault modes x load through the campaign "
+                      "layer")
+    p_sweep.add_argument("--schemes", default=None,
+                         help="comma-separated scheme names "
+                              "(default: fastpass,escapevc,spin,baseline)")
+    p_sweep.add_argument("--rates", default=None,
+                         help="comma-separated injection rates "
+                              "(default: 0.05,0.15)")
+    p_sweep.add_argument("--fault-rates", default=None,
+                         help="comma-separated storm event rates per "
+                              "cycle (default: 0.002,0.01)")
+    p_sweep.add_argument("--modes", default=None,
+                         help="comma-separated fault modes from "
+                              "none,cut,storm (default: all)")
+    _add_common_flags(p_sweep)
+
+    args = parser.parse_args(argv)
+    return _faults_sweep(parser, args)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "campaign":
         return _campaign_main(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of the FastPass paper "

@@ -1,0 +1,43 @@
+"""Fault injection and liveness auditing.
+
+This package is the robustness surface of the simulator: a deterministic,
+seed-reproducible fault-injection layer (:mod:`~repro.fault.plan`,
+:mod:`~repro.fault.injector`), a liveness auditor that certifies the
+paper's guaranteed-delivery bound (:mod:`~repro.fault.auditor`), and the
+watchdog post-mortem writer (:mod:`~repro.fault.postmortem`).
+
+A :class:`~repro.fault.plan.FaultPlan` rides inside
+:class:`~repro.config.SimConfig`, so fault scenarios flow through the
+campaign cache key like any other simulation parameter, and identical
+(plan, seed) pairs replay the exact same fault sequence.
+"""
+
+from __future__ import annotations
+
+from repro.fault.auditor import (
+    LivenessAuditor,
+    LivenessViolation,
+    delivery_bound,
+)
+from repro.fault.injector import FaultInjector, RerouteTable
+from repro.fault.plan import (
+    EJECT_FREEZE,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    LINK_FAIL,
+    LINK_FLAP,
+    LOOKAHEAD_CORRUPT,
+    LOOKAHEAD_DROP,
+    PORT_STALL,
+    TRANSIENT_KINDS,
+)
+from repro.fault.postmortem import postmortem_payload, write_postmortem
+
+__all__ = [
+    "EJECT_FREEZE", "FAULT_KINDS", "FaultEvent", "FaultInjector",
+    "FaultPlan", "LINK_FAIL", "LINK_FLAP", "LOOKAHEAD_CORRUPT",
+    "LOOKAHEAD_DROP", "LivenessAuditor", "LivenessViolation", "PORT_STALL",
+    "RerouteTable", "TRANSIENT_KINDS", "delivery_bound",
+    "postmortem_payload", "write_postmortem",
+]

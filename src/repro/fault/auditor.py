@@ -1,0 +1,170 @@
+"""Liveness auditing against the paper's guaranteed-delivery bound.
+
+FastPass's central claim (Sec. III-C) is that every blocked packet is
+eventually upgraded onto a FastPass-Lane and delivered within a bounded
+number of TDM phases.  The :class:`LivenessAuditor` certifies that claim
+at runtime: it periodically scans every buffered packet and measures how
+long the packet has been *stuck* — ready to move but unable to — against
+a delivery bound derived from the schedule geometry.
+
+The audited quantity is the per-slot stuck age ``now - slot.ready_at``,
+not the packet's total network age: under heavy congestion a packet
+legitimately waits many rotations while making hop progress (each hop
+resets ``ready_at``), and total age would flood the audit with false
+positives.  A head packet that sits unmoved past the bound, however,
+means the upgrade machinery failed to rescue it — exactly the violation
+the paper proves cannot happen on a healthy network.
+"""
+
+from __future__ import annotations
+
+
+def delivery_bound(cfg, net=None) -> int:
+    """Cycles a blocked head packet may sit unmoved before the delivery
+    guarantee is considered violated.
+
+    Priority order:
+
+    1. ``cfg.liveness_bound_cycles`` — explicit override;
+    2. the FastPass schedule geometry when the network runs one: within
+       one full rotation every router is prime once, so a blocked packet
+       is offered an upgrade opportunity; ``2 * rotation_len`` covers the
+       worst-case phase alignment plus one full service pass, and one
+       extra ``phase_len`` absorbs the launch/return round trip
+       (``rotation_len = rows * phase_len``, ``phase_len = P * K``);
+    3. otherwise (baselines without a schedule) fall back to a multiple
+       of the watchdog threshold — a generous bound that still fires on
+       genuine wedges long before an unbounded hang.
+    """
+    override = getattr(cfg, "liveness_bound_cycles", 0)
+    if override:
+        return override
+    manager = getattr(net, "fastpass", None) if net is not None else None
+    if manager is not None:
+        sched = manager.schedule
+        return 2 * sched.rotation_len + sched.phase_len
+    return 4 * cfg.watchdog_cycles
+
+
+class LivenessViolation(RuntimeError):
+    """A packet exceeded the delivery bound.
+
+    Carries the structured ``report`` (packet identity and history, the
+    slot it is wedged in, the bound it broke) so callers and post-mortems
+    can serialize it without parsing the message string.
+    """
+
+    def __init__(self, report: dict):
+        self.report = report
+        super().__init__(
+            f"packet {report['pid']} ({report['src']}->{report['dst']}) "
+            f"stuck for {report['stuck_for']} cycles at router "
+            f"{report['router']} (bound {report['bound']})")
+
+
+def _packet_report(rid: int, slot, pkt, now: int, bound: int) -> dict:
+    """The offending packet's history, serialization-ready."""
+    return {
+        "pid": pkt.pid,
+        "src": pkt.src,
+        "dst": pkt.dst,
+        "mclass": int(pkt.mclass),
+        "size": pkt.size,
+        "router": rid,
+        "port": slot.port,
+        "vc": slot.vc,
+        "gen_cycle": pkt.gen_cycle,
+        "net_entry": pkt.net_entry,
+        "hops": pkt.hops,
+        "deflections": pkt.deflections,
+        "drop_count": pkt.drop_count,
+        "was_fastpass": pkt.was_fastpass,
+        "fp_upgrade": pkt.fp_upgrade,
+        "rejected": pkt.rejected,
+        "ready_at": slot.ready_at,
+        "stuck_for": now - slot.ready_at,
+        "detected_at": now,
+        "bound": bound,
+    }
+
+
+class LivenessAuditor:
+    """Periodic scan of buffered packets against the delivery bound.
+
+    ``strict=True`` raises :class:`LivenessViolation` on first detection
+    (tests, debugging); otherwise violations accumulate in
+    :attr:`violations` — one entry per packet, kept at its worst observed
+    stuck age — and the run's result reports the count.
+    """
+
+    def __init__(self, net, bound: int | None = None,
+                 interval: int | None = None, strict: bool = False):
+        self.net = net
+        if bound is not None and bound < 1:
+            raise ValueError("liveness bound must be positive")
+        # Bound and interval resolve lazily: the FastPass schedule the
+        # bound derives from is attached by scheme.build(), which runs
+        # after the network (and this auditor) is constructed.
+        self._bound = bound
+        self._interval = interval
+        self.strict = strict
+        self.violations: list[dict] = []
+        self._worst: dict[int, dict] = {}   # pid -> report
+        self.checks = 0
+
+    @property
+    def bound(self) -> int:
+        if self._bound is None:
+            self._bound = delivery_bound(self.net.cfg, self.net)
+        return self._bound
+
+    @property
+    def interval(self) -> int:
+        # Scanning is O(buffered packets); every bound/4 cycles is
+        # frequent enough to catch a violation long before the watchdog.
+        if self._interval is None:
+            self._interval = max(32, self.bound // 4)
+        return self._interval
+
+    # ------------------------------------------------------------------
+    def check(self, now: int) -> list[dict]:
+        """Scan once; returns the reports newly created or worsened."""
+        self.checks += 1
+        bound = self.bound
+        fresh = []
+        for router in self.net.routers:
+            rid = router.id
+            for slot in router.occupied:
+                pkt = slot.pkt
+                if pkt is None:
+                    continue
+                stuck = now - slot.ready_at
+                if stuck <= bound:
+                    continue
+                prev = self._worst.get(pkt.pid)
+                if prev is not None and prev["stuck_for"] >= stuck:
+                    continue
+                report = _packet_report(rid, slot, pkt, now, bound)
+                if prev is None:
+                    self.violations.append(report)
+                else:
+                    self.violations[self.violations.index(prev)] = report
+                self._worst[pkt.pid] = report
+                fresh.append(report)
+                if self.strict:
+                    raise LivenessViolation(report)
+        return fresh
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def summary(self) -> dict:
+        return {
+            "bound": self.bound,
+            "interval": self.interval,
+            "checks": self.checks,
+            "violations": self.violation_count,
+            "worst": max((v["stuck_for"] for v in self.violations),
+                         default=0),
+        }

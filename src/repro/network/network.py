@@ -6,8 +6,15 @@ from repro.network.link import Link
 from repro.network.ni import NetworkInterface
 from repro.network.router import Router
 from repro.network.topology import OPPOSITE, PORT_LOCAL
+from repro.network.validate import check_invariants
 from repro.network.watchdog import Watchdog
 from repro.sim.stats import StatsCollector
+
+
+def _fire_postmortem(net, now: int, report) -> None:
+    """Watchdog ``on_fire`` hook: dump the wedged state as JSON."""
+    from repro.fault.postmortem import write_postmortem
+    net.postmortem_path = write_postmortem(net, now)
 
 
 class Network:
@@ -44,8 +51,33 @@ class Network:
                     for rid in range(mesh.n_routers)]
         self.links: list[Link] = []
         self._wire()
-        self.watchdog = Watchdog(self, cfg.watchdog_cycles)
+        self.watchdog = Watchdog(
+            self, cfg.watchdog_cycles,
+            on_fire=_fire_postmortem if cfg.postmortem else None)
         self.traffic = None
+
+        # Robustness surface (see repro.fault).  All attributes exist even
+        # when the features are off, so hot-path checks are plain
+        # None/False tests.
+        #: FaultInjector when the config carries a fault plan
+        self.faults = None
+        #: RerouteTable around dead links (installed by the injector when
+        #: the scheme declares the capability); consulted by Router.moves
+        self.reroute = None
+        #: LivenessAuditor when cfg.liveness_audit is set
+        self.auditor = None
+        #: True while any fault is active — newly sourced packets are
+        #: tagged as degraded for the stats split
+        self.fault_exposed = False
+        #: path of the post-mortem written by the watchdog hook, if any
+        self.postmortem_path = None
+        if cfg.fault_plan:
+            from repro.fault.injector import FaultInjector
+            self.faults = FaultInjector(self, cfg.fault_plan)
+        if cfg.liveness_audit:
+            from repro.fault.auditor import LivenessAuditor
+            self.auditor = LivenessAuditor(
+                self, bound=cfg.liveness_bound_cycles or None)
 
     def _wire(self) -> None:
         for rid in range(self.mesh.n_routers):
@@ -71,6 +103,8 @@ class Network:
     # -- main loop -----------------------------------------------------------
     def step(self) -> None:
         now = self.cycle
+        if self.faults is not None:
+            self.faults.step(now)
         if self.scheme is not None:
             self.scheme.pre_cycle(self, now)
         self._run_events(now)
@@ -85,6 +119,12 @@ class Network:
             ni.consume_step(now)
         if self.scheme is not None:
             self.scheme.post_cycle(self, now)
+        auditor = self.auditor
+        if auditor is not None and now and now % auditor.interval == 0:
+            auditor.check(now)
+        paranoia = self.cfg.paranoia
+        if paranoia and now and now % paranoia == 0:
+            check_invariants(self)
         self.watchdog.check(now)
         self.cycle = now + 1
 

@@ -73,6 +73,8 @@ class NetworkInterface:
     # -- generation ------------------------------------------------------
     def source(self, pkt) -> None:
         """Accept a freshly generated packet from the traffic source."""
+        if self.net.fault_exposed:
+            pkt.fault_exposed = True
         if pkt.dst == self.id:
             # Local delivery never enters the network, but the attached
             # processor/LLC model must still see the message.

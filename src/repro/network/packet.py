@@ -74,6 +74,7 @@ class Packet:
         "drop_count",
         "deflections",
         "txn",
+        "fault_exposed",
         "_route_router",
         "_route_outs",
         "measured",
@@ -100,6 +101,7 @@ class Packet:
         self.drop_count = 0
         self.deflections = 0
         self.txn = None             # coherence transaction handle, if any
+        self.fault_exposed = False  # generated/in flight while faults active
         self._route_router = -1     # router id for which _route_outs is valid
         self._route_outs = ()
         self.measured = True

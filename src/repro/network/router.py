@@ -63,7 +63,11 @@ class Router:
         cached = pkt.route_cache(self.id)
         if cached is not None:
             return cached
-        outs = self.routing_fn(self.mesh, self.id, pkt.dst)
+        reroute = self.net.reroute
+        if reroute is not None:
+            outs = reroute.ports(self.id, pkt.dst)
+        else:
+            outs = self.routing_fn(self.mesh, self.id, pkt.dst)
         vcs = self._vn_vcs[pkt.vn]
         mv = tuple((o, vcs) for o in outs)
         pkt.set_route_cache(self.id, mv)

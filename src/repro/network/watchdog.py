@@ -75,23 +75,90 @@ def find_blocked_cycle(net, now: int, min_blocked: int = 1):
     return None
 
 
-class Watchdog:
-    """Global forward-progress monitor."""
+class WatchdogReport:
+    """Structured outcome of one :meth:`Watchdog.check`.
 
-    def __init__(self, net, threshold: int):
+    Truthy exactly when the watchdog considers the network deadlocked, so
+    existing ``if wd.check(now):`` call sites keep working.  ``first`` is
+    True only on the firing transition (armed -> deadlocked), which is
+    when the post-mortem hook runs.
+    """
+
+    __slots__ = ("fired", "now", "stalled_for", "in_flight", "first")
+
+    def __init__(self, fired: bool, now: int = -1, stalled_for: int = 0,
+                 in_flight: int = 0, first: bool = False):
+        self.fired = fired
+        self.now = now
+        self.stalled_for = stalled_for
+        self.in_flight = in_flight
+        self.first = first
+
+    def __bool__(self) -> bool:
+        return self.fired
+
+    def to_json(self) -> dict:
+        return {"fired": self.fired, "now": self.now,
+                "stalled_for": self.stalled_for,
+                "in_flight": self.in_flight, "first": self.first}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.fired:
+            return "WatchdogReport(ok)"
+        return (f"WatchdogReport(fired at {self.now}, stalled "
+                f"{self.stalled_for}, {self.in_flight} in flight)")
+
+
+#: shared falsy report for the (overwhelmingly common) healthy case, so
+#: the per-cycle check allocates nothing.
+_OK = WatchdogReport(False)
+
+
+class Watchdog:
+    """Global forward-progress monitor.
+
+    ``on_fire(net, now, report)`` runs once per firing transition —
+    the network hooks the post-mortem writer here.  After a recovery
+    (e.g. a link flap healed and packets move again) :meth:`rearm`
+    resets the latch so the watchdog can fire again; ``fire_count``
+    survives re-arming.
+    """
+
+    def __init__(self, net, threshold: int, on_fire=None):
         self.net = net
         self.threshold = threshold
         self.deadlocked = False
         self.fired_at = -1
+        self.on_fire = on_fire
+        self.fire_count = 0
 
-    def check(self, now: int) -> bool:
+    def check(self, now: int) -> WatchdogReport:
         net = self.net
         if now - net.last_progress < self.threshold:
-            return False
-        if not net.packets_in_flight():
+            return _OK
+        in_flight = net.packets_in_flight()
+        if not in_flight:
             net.last_progress = now
-            return False
+            return _OK
+        first = not self.deadlocked
         self.deadlocked = True
         if self.fired_at < 0:
             self.fired_at = now
-        return True
+        report = WatchdogReport(True, now, now - net.last_progress,
+                                in_flight, first)
+        if first:
+            self.fire_count += 1
+            if self.on_fire is not None:
+                self.on_fire(net, now, report)
+        return report
+
+    def rearm(self, now: int | None = None) -> None:
+        """Reset the deadlock latch after recovery.
+
+        Passing ``now`` also resets the progress clock, giving the
+        network a fresh ``threshold`` cycles before the next firing.
+        """
+        self.deadlocked = False
+        self.fired_at = -1
+        if now is not None:
+            self.net.last_progress = now

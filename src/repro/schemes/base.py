@@ -14,6 +14,26 @@ from repro.network.router import Router
 
 
 @dataclass(frozen=True)
+class FaultCaps:
+    """What a scheme can do when the fault injector degrades the network.
+
+    * ``reroute`` — the scheme tolerates its packets being steered by a
+      :class:`~repro.fault.injector.RerouteTable` around dead links;
+    * ``lane_skip`` — the scheme's bypass machinery (FastPass lanes) can
+      skip launches whose path crosses a dead or lookahead-compromised
+      segment instead of launching blind.
+
+    Schemes without ``reroute`` keep their static routes under faults;
+    packets whose only productive port died stall, the watchdog fires,
+    and the post-mortem documents why — that *is* the declared behavior,
+    not a bug.
+    """
+
+    reroute: bool = False
+    lane_skip: bool = False
+
+
+@dataclass(frozen=True)
 class Table1Row:
     """The qualitative properties compared in the paper's Table I."""
 
@@ -46,6 +66,9 @@ class Scheme:
     routing = "adaptive"
     router_cls = Router
     table1: Table1Row | None = None
+    #: graceful-degradation capabilities under fault injection; the plain
+    #: baseline declares none and is expected to wedge on a dead link
+    fault_caps = FaultCaps()
     #: structural parameters used by the power/area model
     n_vns = 6
     n_vcs = 2

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.network.router import Router
 from repro.network.routing import route_adaptive, route_west_first
 from repro.network.topology import PORT_LOCAL
-from repro.schemes.base import Scheme, Table1Row, register
+from repro.schemes.base import FaultCaps, Scheme, Table1Row, register
 
 LOCAL_MOVE = ((PORT_LOCAL, ()),)
 
@@ -32,13 +32,21 @@ class EscapeVCRouter(Router):
         n_vcs = self.cfg.n_vcs
         esc = pkt.vn * n_vcs                    # escape VC of this VN
         in_escape = slot is not None and slot.vc == esc
-        wf = route_west_first(self.mesh, self.id, pkt.dst)
+        reroute = self.net.reroute
+        if reroute is not None:
+            # Degraded mode: shortest surviving paths for both classes.
+            # The west-first escape guarantee does not survive a dead
+            # link anyway — a wedge here is the watchdog's to report.
+            wf = reroute.ports(self.id, pkt.dst)
+        else:
+            wf = route_west_first(self.mesh, self.id, pkt.dst)
         esc_moves = tuple((o, (esc,)) for o in wf)
         if in_escape:
             mv = esc_moves
         else:
             normal = tuple(range(esc + 1, esc + n_vcs))
-            ad = route_adaptive(self.mesh, self.id, pkt.dst)
+            ad = wf if reroute is not None \
+                else route_adaptive(self.mesh, self.id, pkt.dst)
             mv = tuple((o, normal) for o in ad) + esc_moves
         pkt.set_route_cache(self.id, mv)
         return mv
@@ -63,6 +71,7 @@ class EscapeVC(Scheme):
     name = "escapevc"
     routing = "adaptive"   # unused: the router computes its own moves
     router_cls = EscapeVCRouter
+    fault_caps = FaultCaps(reroute=True)
     n_vns = 6
     n_vcs = 2
 

@@ -14,13 +14,14 @@ threshold and the loop length.
 from __future__ import annotations
 
 from repro.network.watchdog import find_blocked_cycle
-from repro.schemes.base import Scheme, Table1Row, register
+from repro.schemes.base import FaultCaps, Scheme, Table1Row, register
 
 
 @register
 class SPIN(Scheme):
     name = "spin"
     routing = "adaptive"
+    fault_caps = FaultCaps(reroute=True)
     n_vns = 6
     n_vcs = 2
 

@@ -87,9 +87,21 @@ class Simulation:
         res.fp_buffered_time = stats.mean(stats.fp_buffered)
         res.fp_bufferless_time = stats.mean(stats.fp_bufferless)
         res.reg_latency = stats.mean(stats.reg_latencies)
+        res.degraded_delivered = stats.degraded_delivered
+        res.degraded_latency = stats.mean(stats.degraded_latencies)
         res.extra["measured_generated"] = getattr(
             self.traffic, "measured_generated", 0)
         res.extra["undelivered"] = (res.extra["measured_generated"]
                                     - stats.ejected_measured)
+        if net.faults is not None:
+            res.extra["faults"] = net.faults.summary()
+        if net.auditor is not None:
+            # A final scan at exit so short runs cannot dodge the audit by
+            # finishing between two periodic checks.
+            net.auditor.check(net.cycle)
+            res.liveness_violations = net.auditor.violation_count
+            res.extra["liveness"] = net.auditor.summary()
+        if net.postmortem_path is not None:
+            res.extra["postmortem"] = str(net.postmortem_path)
         stats.warn_if_empty(self.scheme.label)
         return res

@@ -59,6 +59,29 @@ class Point:
         return Point(scheme, tuple(sorted(scheme_kwargs.items())),
                      "stress:protocol", 0.0, meta)
 
+    @staticmethod
+    def make_fault(scheme: str, pattern: str, rate: float, plan=None,
+                   traffic_stop: int | None = None, seed: int | None = None,
+                   **scheme_kwargs) -> "Point":
+        """A synthetic point with fault injection.
+
+        The :class:`~repro.fault.plan.FaultPlan` rides in ``meta`` as its
+        canonical token, so it participates in the campaign cache key —
+        identical (plan, config, seed) points hit the cache, different
+        plans never collide.  ``traffic_stop`` ends generation at that
+        cycle so a fault-wedged network stalls globally (letting the
+        watchdog fire) instead of being masked by fresh traffic.
+        """
+        meta = []
+        if plan:
+            meta.append(("faults", plan.token()))
+        if traffic_stop is not None:
+            meta.append(("traffic_stop", traffic_stop))
+        if seed is not None:
+            meta.append(("seed", seed))
+        return Point(scheme, tuple(sorted(scheme_kwargs.items())),
+                     pattern, rate, tuple(sorted(meta)))
+
     # -- JSON round-trip (the cache-key basis) --------------------------
     def to_json(self) -> dict:
         """Canonical JSON form: kwargs/meta as sorted [key, value] lists."""

@@ -9,12 +9,14 @@ from repro.traffic.synthetic import SyntheticTraffic
 
 
 def run_point(scheme: Scheme | str, pattern: str, rate: float,
-              cfg: SimConfig, seed: int | None = None) -> RunResult:
+              cfg: SimConfig, seed: int | None = None,
+              traffic_stop: int | None = None) -> RunResult:
     """One (scheme, pattern, injection-rate) simulation."""
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
     traffic = SyntheticTraffic(pattern, rate,
-                               seed=cfg.seed if seed is None else seed)
+                               seed=cfg.seed if seed is None else seed,
+                               stop=traffic_stop)
     sim = Simulation(cfg, scheme, traffic)
     res = sim.run()
     res.extra["rate"] = rate

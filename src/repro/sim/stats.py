@@ -43,6 +43,10 @@ class StatsCollector:
         self.reg_latencies: list[int] = []
         self.fp_buffered: list[int] = []
         self.fp_bufferless: list[int] = []
+        # Robustness split: packets that were in flight (or generated)
+        # while faults were active.
+        self.degraded_delivered = 0
+        self.degraded_latencies: list[int] = []
         self.measure_start = 0
         self.measure_end = 1 << 60
         self.per_class_ejected = [0] * 6
@@ -55,11 +59,15 @@ class StatsCollector:
             self.fastpass_delivered += 1
         else:
             self.regular_delivered += 1
+        if pkt.fault_exposed:
+            self.degraded_delivered += 1
         if not pkt.measured:
             return
         self.ejected_measured += 1
         lat = pkt.eject_cycle - pkt.gen_cycle
         self.latencies.append(lat)
+        if pkt.fault_exposed:
+            self.degraded_latencies.append(lat)
         if pkt.was_fastpass:
             buffered = pkt.fp_upgrade - pkt.gen_cycle
             self.fp_buffered.append(buffered)

@@ -84,11 +84,17 @@ class SyntheticTraffic:
 
     CHUNK = 256
 
-    def __init__(self, pattern: str, rate: float, seed: int = 1):
+    def __init__(self, pattern: str, rate: float, seed: int = 1,
+                 stop: int | None = None):
         if pattern not in PATTERNS:
             raise ValueError(f"unknown pattern {pattern!r}")
         self.pattern = pattern
         self.rate = rate
+        #: last generation cycle (exclusive); None = open-loop forever.
+        #: Fault runs stop generation after the measurement window so a
+        #: wedged network stalls globally and the watchdog can fire
+        #: instead of background traffic masking the stuck packets.
+        self.stop = stop
         self.rng = np.random.default_rng(seed)
         self.measure_start = 1 << 60
         self.measure_end = 1 << 60
@@ -146,6 +152,8 @@ class SyntheticTraffic:
         self._chunk_end = start + chunk
 
     def generate(self, net, now: int) -> None:
+        if self.stop is not None and now >= self.stop:
+            return
         if now >= self._chunk_end:
             self._fill(now)
         events = self._by_cycle.pop(now, None)

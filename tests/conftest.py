@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.config import SimConfig
@@ -9,6 +12,42 @@ from repro.network.network import Network
 from repro.network.packet import Packet
 from repro.network.routing import ROUTERS
 from repro.network.topology import Mesh
+
+#: per-test wall-clock ceiling (seconds) when pytest-timeout is absent.
+#: CI installs pytest-timeout and passes ``--timeout`` explicitly; this
+#: SIGALRM fallback keeps a wedged simulation from hanging a local run
+#: where the plugin is not installed.  Set REPRO_TEST_TIMEOUT=0 to disable.
+_FALLBACK_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+def pytest_configure(config):
+    config._repro_alarm_timeout = (
+        _FALLBACK_TIMEOUT
+        if _FALLBACK_TIMEOUT > 0
+        and not config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+        else 0)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    limit = getattr(item.config, "_repro_alarm_timeout", 0)
+    if not limit:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit}s fallback ceiling "
+            f"(REPRO_TEST_TIMEOUT)")
+
+    old = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(limit)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
 
 
 @pytest.fixture(autouse=True)
@@ -44,10 +83,15 @@ def tmp_cache_dir(tmp_path) -> "Path":
 
 @pytest.fixture
 def small_cfg() -> SimConfig:
-    """4x4 mesh with short windows and a small FastPass slot: fast tests."""
+    """4x4 mesh with short windows and a small FastPass slot: fast tests.
+
+    ``paranoia`` runs the full invariant audit every 50 cycles, so any
+    tier-1 test built on this fixture catches structural corruption at
+    its source rather than as a downstream miscount.
+    """
     return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=400,
                      drain_cycles=1200, watchdog_cycles=800,
-                     fastpass_slot_cycles=64)
+                     fastpass_slot_cycles=64, paranoia=50)
 
 
 @pytest.fixture

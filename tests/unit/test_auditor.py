@@ -1,0 +1,102 @@
+"""Unit tests for the guaranteed-delivery liveness auditor."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.fault.auditor import (
+    LivenessAuditor,
+    LivenessViolation,
+    delivery_bound,
+)
+from repro.network.packet import Packet
+from repro.schemes import get_scheme
+
+from tests.conftest import make_network
+
+
+def _wedge(net, rid=5, src=5, dst=6, ready_at=0):
+    """Park a packet in a VC slot so it looks stuck to the auditor."""
+    router = net.routers[rid]
+    pkt = Packet(src, dst, 0, 0)
+    slot = router.slots[0][0]
+    slot.pkt = pkt
+    slot.ready_at = ready_at
+    router.occupied.append(slot)
+    return pkt, slot
+
+
+class TestDeliveryBound:
+    def test_override_wins(self):
+        cfg = SimConfig(rows=4, cols=4, liveness_bound_cycles=777)
+        assert delivery_bound(cfg) == 777
+
+    def test_fastpass_schedule_formula(self):
+        cfg = SimConfig(rows=4, cols=4, fastpass_slot_cycles=64)
+        net = make_network(cfg, scheme=get_scheme("fastpass", n_vcs=2))
+        sched = net.fastpass.schedule
+        assert delivery_bound(net.cfg, net) == \
+            2 * sched.rotation_len + sched.phase_len
+
+    def test_watchdog_fallback(self):
+        cfg = SimConfig(rows=4, cols=4, watchdog_cycles=900)
+        net = make_network(cfg)   # no scheme, no schedule
+        assert delivery_bound(cfg, net) == 3600
+
+    def test_rejects_nonpositive_bound(self, mesh4):
+        net = make_network(SimConfig(rows=4, cols=4))
+        with pytest.raises(ValueError, match="positive"):
+            LivenessAuditor(net, bound=0)
+
+
+class TestAuditor:
+    def test_flags_wedged_packet(self):
+        net = make_network(SimConfig(rows=4, cols=4))
+        pkt, _slot = _wedge(net, ready_at=0)
+        auditor = LivenessAuditor(net, bound=10)
+        assert auditor.check(now=10) == []     # stuck == bound: still legal
+        fresh = auditor.check(now=50)
+        assert len(fresh) == 1
+        report = fresh[0]
+        assert report["pid"] == pkt.pid
+        assert report["router"] == 5
+        assert report["stuck_for"] == 50
+        assert report["bound"] == 10
+        assert auditor.violation_count == 1
+
+    def test_one_entry_per_packet_kept_at_worst(self):
+        net = make_network(SimConfig(rows=4, cols=4))
+        _wedge(net, ready_at=0)
+        auditor = LivenessAuditor(net, bound=10)
+        auditor.check(now=20)
+        auditor.check(now=80)
+        assert auditor.violation_count == 1
+        assert auditor.violations[0]["stuck_for"] == 80
+        assert auditor.summary()["worst"] == 80
+
+    def test_strict_raises_with_structured_report(self):
+        net = make_network(SimConfig(rows=4, cols=4))
+        pkt, _ = _wedge(net, ready_at=0)
+        auditor = LivenessAuditor(net, bound=10, strict=True)
+        with pytest.raises(LivenessViolation) as exc:
+            auditor.check(now=99)
+        assert exc.value.report["pid"] == pkt.pid
+        assert exc.value.report["stuck_for"] == 99
+        assert f"packet {pkt.pid}" in str(exc.value)
+
+    def test_interval_derived_from_bound(self):
+        net = make_network(SimConfig(rows=4, cols=4))
+        assert LivenessAuditor(net, bound=4000).interval == 1000
+        assert LivenessAuditor(net, bound=40).interval == 32  # floor
+
+    def test_healthy_fastpass_run_has_zero_violations(self, small_cfg):
+        from repro.sim.engine import Simulation
+        from repro.traffic.synthetic import SyntheticTraffic
+
+        cfg = small_cfg.with_(liveness_audit=True)
+        sim = Simulation(cfg, get_scheme("fastpass", n_vcs=2),
+                         SyntheticTraffic("uniform", 0.05, seed=3))
+        res = sim.run()
+        assert res.ejected > 0
+        assert res.liveness_violations == 0
+        assert res.extra["liveness"]["violations"] == 0
+        assert res.extra["liveness"]["checks"] > 0

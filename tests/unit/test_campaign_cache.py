@@ -19,7 +19,7 @@ def _res(**kw) -> RunResult:
     res = RunResult(scheme="Test", ejected=10, avg_latency=12.5,
                     p99_latency=40.0, throughput=0.1, cycles=1000,
                     fp_buffered_time=1.0, fp_bufferless_time=2.0,
-                    reg_latency=3.0)
+                    reg_latency=3.0, degraded_latency=4.0)
     for key, value in kw.items():
         setattr(res, key, value)
     return res
@@ -50,6 +50,37 @@ class TestPointKey:
     def test_salt_changes_key(self, small_cfg):
         p = Point.make("fastpass", "uniform", 0.1)
         assert point_key(p, small_cfg, "a") != point_key(p, small_cfg, "b")
+
+
+class TestFaultKeys:
+    """Fault plans must flow into the content address (satellite of the
+    robustness subsystem): same sweep, different plan, different key."""
+
+    def test_distinct_plans_distinct_point_keys(self, small_cfg):
+        from repro.fault.plan import link_cut
+
+        healthy = Point.make_fault("fastpass", "uniform", 0.1)
+        cut_a = Point.make_fault("fastpass", "uniform", 0.1,
+                                 plan=link_cut(5, 2, at=100))
+        cut_b = Point.make_fault("fastpass", "uniform", 0.1,
+                                 plan=link_cut(5, 2, at=200))
+        keys = {point_key(p, small_cfg, "s")
+                for p in (healthy, cut_a, cut_b)}
+        assert len(keys) == 3
+
+    def test_traffic_stop_changes_key(self, small_cfg):
+        a = Point.make_fault("fastpass", "uniform", 0.1, traffic_stop=500)
+        b = Point.make_fault("fastpass", "uniform", 0.1, traffic_stop=900)
+        assert point_key(a, small_cfg, "s") != point_key(b, small_cfg, "s")
+
+    def test_plan_in_config_changes_key(self, small_cfg):
+        from repro.fault.plan import link_cut
+
+        p = Point.make("fastpass", "uniform", 0.1)
+        faulty_cfg = small_cfg.with_(fault_plan=link_cut(5, 2, at=100))
+        # asdict(cfg) must stay JSON-serializable with the plan embedded.
+        assert point_key(p, small_cfg, "s") != \
+            point_key(p, faulty_cfg, "s")
 
 
 class TestResultJson:

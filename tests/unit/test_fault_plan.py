@@ -1,0 +1,121 @@
+"""Unit tests for fault plans: validation, determinism, serialization."""
+
+import json
+
+import pytest
+
+from repro.fault.plan import (
+    EJECT_FREEZE,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    LINK_FAIL,
+    LINK_FLAP,
+    LINK_KINDS,
+    LOOKAHEAD_DROP,
+    PORT_STALL,
+    TRANSIENT_KINDS,
+    fault_storm,
+    link_cut,
+)
+from repro.network.topology import Mesh, PORT_E, PORT_W
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor_strike", 10, 0, 1, 5)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            FaultEvent(LINK_FLAP, -1, 0, 1, 5)
+
+    def test_transient_needs_duration(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultEvent(PORT_STALL, 10, 0, 1, 0)
+
+    def test_link_fail_is_permanent(self):
+        with pytest.raises(ValueError, match="permanent"):
+            FaultEvent(LINK_FAIL, 10, 0, 1, 5)
+
+    def test_until_window(self):
+        assert FaultEvent(LINK_FLAP, 100, 0, 1, 30).until == 130
+        assert FaultEvent(LINK_FAIL, 100, 0, 1).until > 10 ** 15
+
+    def test_json_round_trip(self):
+        ev = FaultEvent(EJECT_FREEZE, 42, 7, -1, 9)
+        assert FaultEvent.from_json(ev.to_json()) == ev
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert bool(link_cut(0, PORT_E, 5))
+        assert bool(fault_storm(0.1, 0, 100))
+
+    def test_stochastic_needs_window(self):
+        with pytest.raises(ValueError, match="stop > start"):
+            FaultPlan(rate=0.1)
+
+    def test_unknown_stochastic_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown stochastic"):
+            FaultPlan(rate=0.1, start=0, stop=10, kinds=("bad_kind",))
+
+    def test_materialize_is_deterministic(self, mesh4):
+        plan = fault_storm(0.05, 0, 400, seed=9)
+        a = plan.materialize(run_seed=3, mesh=mesh4)
+        assert a == plan.materialize(run_seed=3, mesh=mesh4)
+        assert a  # the rate over 400 cycles yields events w.h.p.
+
+    def test_run_seed_threads_into_rng(self, mesh4):
+        plan = fault_storm(0.05, 0, 400, seed=9)
+        a = plan.materialize(run_seed=1, mesh=mesh4)
+        b = plan.materialize(run_seed=2, mesh=mesh4)
+        assert a != b
+
+    def test_plan_seed_threads_into_rng(self, mesh4):
+        a = fault_storm(0.05, 0, 400, seed=1).materialize(5, mesh4)
+        b = fault_storm(0.05, 0, 400, seed=2).materialize(5, mesh4)
+        assert a != b
+
+    def test_materialize_sorted_and_valid(self, mesh4):
+        plan = fault_storm(0.1, 50, 450, seed=4)
+        events = plan.materialize(run_seed=11, mesh=mesh4)
+        assert events == sorted(
+            events, key=lambda e: (e.at, e.kind, e.router, e.port))
+        for ev in events:
+            assert 50 <= ev.at < 450
+            assert ev.kind in TRANSIENT_KINDS
+            assert 0 <= ev.router < mesh4.n_routers
+            assert ev.duration >= 1
+            if ev.kind in LINK_KINDS:
+                assert mesh4.neighbor(ev.router, ev.port) is not None
+
+    def test_scheduled_event_validated_against_mesh(self, mesh4):
+        bad_router = FaultPlan(events=(FaultEvent(LINK_FAIL, 0, 99, 1),))
+        with pytest.raises(ValueError, match="router 99"):
+            bad_router.materialize(1, mesh4)
+        # Router 0 sits in the west/north corner: no West link exists.
+        bad_port = FaultPlan(events=(FaultEvent(LINK_FAIL, 0, 0, PORT_W),))
+        with pytest.raises(ValueError, match="missing link"):
+            bad_port.materialize(1, mesh4)
+
+    def test_token_round_trip(self):
+        plan = FaultPlan(events=(FaultEvent(LINK_FLAP, 7, 3, PORT_E, 20),),
+                         rate=0.01, kinds=(PORT_STALL, LOOKAHEAD_DROP),
+                         start=5, stop=500, mean_duration=33, seed=6)
+        token = plan.token()
+        json.loads(token)  # canonical JSON
+        assert FaultPlan.from_token(token) == plan
+        assert FaultPlan.from_token(token).token() == token
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(events=[FaultEvent(LINK_FAIL, 1, 0, PORT_E)],
+                         kinds=[PORT_STALL])
+        assert isinstance(plan.events, tuple)
+        assert isinstance(plan.kinds, tuple)
+        hash(plan)  # stays hashable for frozen-config embedding
+
+    def test_kind_sets_consistent(self):
+        assert set(TRANSIENT_KINDS) == set(FAULT_KINDS) - {LINK_FAIL}
+        assert LINK_KINDS <= set(FAULT_KINDS)

@@ -79,8 +79,13 @@ class TestWatchdog:
             net.step()
         assert not net.watchdog.deadlocked
 
-    def test_fires_on_stuck_packet(self, net):
+    def test_fires_on_stuck_packet(self, small_cfg):
         # Park a packet in a router slot with no way to move (dst full).
+        # The hand-built blockade below shares one packet object across
+        # slots outside the occupied list — intentionally non-physical
+        # state, so the paranoia audit must stay off for this net.
+        net = make_network(small_cfg.with_(paranoia=0),
+                           routing="adaptive")
         r = net.routers[0]
         pkt = Packet(0, 5, MessageClass.REQUEST, 0)
         slot = r.slots[1][0]

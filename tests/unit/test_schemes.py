@@ -130,7 +130,9 @@ class TestSPIN:
 
 class TestSWAP:
     def test_swap_forces_blocked_packet(self, small_cfg):
-        cfg = small_cfg.with_(swap_duty_cycles=50)
+        # paranoia off: the hand-built blockade below is intentionally
+        # outside the occupied list and would trip the invariant audit
+        cfg = small_cfg.with_(swap_duty_cycles=50, paranoia=0)
         scheme = get_scheme("swap")
         net = make_network(cfg, scheme=scheme)
         # Park a packet whose every downstream VC is held by stalled
@@ -187,7 +189,7 @@ class TestDRAIN:
 
 class TestPitstop:
     def test_bypass_rescues_blocked_packet(self, small_cfg):
-        cfg = small_cfg.with_(pitstop_token_cycles=2)
+        cfg = small_cfg.with_(pitstop_token_cycles=2, paranoia=0)
         scheme = get_scheme("pitstop")
         net = make_network(cfg, scheme=scheme)
         r0, r1 = net.routers[0], net.routers[1]
@@ -206,7 +208,7 @@ class TestPitstop:
 
     def test_single_bypass_at_a_time(self, small_cfg):
         scheme = get_scheme("pitstop")
-        net = make_network(small_cfg, scheme=scheme)
+        net = make_network(small_cfg.with_(paranoia=0), scheme=scheme)
         scheme._busy_until = 1 << 40
         pkt = Packet(0, 3, MessageClass.REQUEST, 0)
         r0 = net.routers[0]

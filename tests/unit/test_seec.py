@@ -45,7 +45,8 @@ class TestSeeking:
         return pkt
 
     def test_blocked_packet_expressed(self, small_cfg):
-        net = seec_net(small_cfg)
+        # paranoia off: _block fabricates a non-physical blockade
+        net = seec_net(small_cfg.with_(paranoia=0))
         scheme = net.scheme
         pkt = self._block(net)
         for _ in range(200):
@@ -57,7 +58,7 @@ class TestSeeking:
     def test_seeker_round_trip_delays_departure(self, small_cfg):
         """Unlike FastPass, SEEC pays 2x distance before the packet moves —
         the token overhead the paper highlights."""
-        net = seec_net(small_cfg)
+        net = seec_net(small_cfg.with_(paranoia=0))
         pkt = self._block(net)
         dist = net.mesh.hops(0, 3)
         for _ in range(200):

@@ -1,0 +1,148 @@
+"""Watchdog report/rearm semantics, post-mortem dumps, and paranoia."""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.network.packet import Packet
+from repro.network.topology import PORT_E
+from repro.network.watchdog import Watchdog, WatchdogReport
+
+from tests.conftest import make_network
+
+
+def _park(net, rid=5, dst=6, wedge=False):
+    """Place a head packet at ``rid``; with ``wedge`` its only productive
+    link (XY toward ``dst``) is jammed so it can never move."""
+    router = net.routers[rid]
+    pkt = Packet(rid, dst, 0, 0)
+    slot = router.slots[0][0]
+    slot.pkt = pkt
+    slot.ready_at = 0
+    router.occupied.append(slot)
+    if wedge:
+        router.links_out[PORT_E].busy_until = 1 << 60
+    return pkt
+
+
+class TestWatchdogReport:
+    def test_truthiness(self):
+        assert not WatchdogReport(False)
+        assert WatchdogReport(True, 10, 400, 3)
+
+    def test_to_json(self):
+        rep = WatchdogReport(True, now=99, stalled_for=400, in_flight=2,
+                             first=True)
+        assert rep.to_json() == {"fired": True, "now": 99,
+                                 "stalled_for": 400, "in_flight": 2,
+                                 "first": True}
+
+    def test_healthy_check_is_falsy(self):
+        net = make_network(SimConfig(rows=4, cols=4, watchdog_cycles=50))
+        assert not net.watchdog.check(10)
+
+
+class TestWatchdogFiring:
+    def _wedged_net(self):
+        net = make_network(SimConfig(rows=4, cols=4, watchdog_cycles=50))
+        _park(net, wedge=True)
+        return net
+
+    def test_fire_reports_and_latches(self):
+        net = self._wedged_net()
+        wd = net.watchdog
+        rep = wd.check(60)
+        assert rep.fired and rep.first
+        assert rep.stalled_for == 60
+        assert rep.in_flight == 1
+        # Subsequent checks stay fired but are no longer the transition.
+        rep2 = wd.check(70)
+        assert rep2.fired and not rep2.first
+        assert wd.fire_count == 1
+        assert wd.fired_at == 60
+
+    def test_on_fire_runs_once_per_transition(self):
+        net = self._wedged_net()
+        calls = []
+        wd = Watchdog(net, 50, on_fire=lambda n, now, rep:
+                      calls.append((now, rep.first)))
+        wd.check(60)
+        wd.check(70)
+        assert calls == [(60, True)]
+
+    def test_rearm_allows_refire(self):
+        net = self._wedged_net()
+        calls = []
+        wd = Watchdog(net, 50, on_fire=lambda n, now, rep:
+                      calls.append(now))
+        assert wd.check(60)
+        wd.rearm(now=60)
+        assert not wd.deadlocked
+        assert not wd.check(80)       # fresh threshold window
+        assert wd.check(120).first    # wedged again: second transition
+        assert wd.fire_count == 2
+        assert calls == [60, 120]
+
+
+class TestPostmortem:
+    def test_write_postmortem_payload(self, tmp_path, monkeypatch):
+        from repro.fault.postmortem import write_postmortem
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        net = make_network(SimConfig(rows=4, cols=4, watchdog_cycles=50))
+        pkt = _park(net)
+        path = write_postmortem(net, now=70, reason="test")
+        assert path.parent == tmp_path / "diagnostics"
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "test"
+        assert payload["cycle"] == 70
+        assert payload["mesh"] == [4, 4]
+        stuck = payload["vc_occupancy"][0]["slots"][0]
+        assert stuck["pid"] == pkt.pid
+        assert stuck["stuck_for"] == 70
+
+    def test_network_dumps_on_watchdog_fire(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        net = make_network(SimConfig(rows=4, cols=4, watchdog_cycles=50,
+                                     postmortem=True))
+        _park(net, wedge=True)
+        for _ in range(60):
+            net.step()
+        assert net.watchdog.deadlocked
+        assert net.postmortem_path is not None
+        assert net.postmortem_path.exists()
+        payload = json.loads(net.postmortem_path.read_text())
+        assert payload["reason"] == "watchdog"
+        assert payload["packets_in_flight"] == 1
+
+    def test_no_dump_without_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        net = make_network(SimConfig(rows=4, cols=4, watchdog_cycles=50))
+        _park(net, wedge=True)
+        for _ in range(60):
+            net.step()
+        assert net.watchdog.deadlocked
+        assert net.postmortem_path is None
+        assert not (tmp_path / "diagnostics").exists()
+
+
+class TestParanoia:
+    def test_paranoia_catches_corruption(self):
+        from repro.network.validate import InvariantViolation
+
+        net = make_network(SimConfig(rows=4, cols=4, paranoia=1))
+        net.step()
+        # Corrupt the occupancy bookkeeping: a slot holds a packet but is
+        # missing from the router's occupied list.
+        router = net.routers[3]
+        slot = router.slots[0][0]
+        slot.pkt = Packet(3, 7, 0, 0)
+        slot.ready_at = 0
+        with pytest.raises(InvariantViolation):
+            net.step()
+
+    def test_paranoia_quiet_on_healthy_network(self):
+        net = make_network(SimConfig(rows=4, cols=4, paranoia=1))
+        for _ in range(20):
+            net.step()
