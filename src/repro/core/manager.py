@@ -32,34 +32,66 @@ class FastPassManager:
         self.engine = FastFlowEngine(net)
         P = self.schedule.P
         self.lane_free_at = [0] * P
+        self._min_free = 0     # min(lane_free_at): skip fully-busy cycles
         self._scan_rr = [0] * P
+        # Per-slot-window cache of the TDM geometry (primes and covered
+        # partitions are constant within a slot).
+        self._slot_end = 0
+        self._primes: list[int] = []
+        self._tcols: list[int] = []
         self.upgrades = 0
         self.upgrades_from_injection = 0
+        #: injection-queue scan order: request queue first (Qn 2 / Qn 6)
+        self._cls_order = [MessageClass.REQUEST] + \
+            [m for m in MessageClass if m != MessageClass.REQUEST]
+        # Round-trip budget is ``2*hops + 2*size + RETURN_SLACK``; the
+        # hops-dependent part is pure mesh geometry, precomputed flat.
+        mesh = self.mesh
+        n = mesh.n_routers
+        self._nr = n
+        self._cols = mesh.cols
+        slack = self.engine.RETURN_SLACK
+        self._rt = [2 * mesh.hops(p, d) + slack
+                    for p in range(n) for d in range(n)]
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
-        sched = self.schedule
-        info = sched.info(now)
-        for c in range(sched.P):
-            if self.lane_free_at[c] > now:
+        if now < self._min_free:
+            return      # every lane is mid-flight: nothing to scan
+        net = self.net
+        if net.inj_total == 0 and net.buffered == 0:
+            return      # no packet anywhere: every prime's scan is empty
+        if now >= self._slot_end:
+            sched = self.schedule
+            info = sched.info(now)
+            self._slot_end = info.slot_end
+            self._primes = sched.primes(info.phase)
+            self._tcols = [sched.target_partition(c, info.slot)
+                           for c in range(sched.P)]
+        slot_end = self._slot_end
+        primes = self._primes
+        tcols = self._tcols
+        lane_free = self.lane_free_at
+        for c in range(len(primes)):
+            if lane_free[c] > now:
                 continue
-            prime = sched.prime_of_partition(c, info.phase)
-            tcol = sched.target_partition(c, info.slot)
-            found = self._select(c, prime, tcol, now, info.slot_end)
+            prime = primes[c]
+            found = self._select(c, prime, tcols[c], now, slot_end)
             if found is None:
                 continue
             pkt, remove = found
             remove()
             self.upgrades += 1
-            self.lane_free_at[c] = self.engine.launch_forward(pkt, prime,
-                                                              now)
+            lane_free[c] = self.engine.launch_forward(pkt, prime, now)
+        self._min_free = min(lane_free)
 
     # ------------------------------------------------------------------
     def _eligible(self, pkt, prime: int, tcol: int, now: int,
                   slot_end: int) -> bool:
-        if pkt.dst == prime or pkt.dst % self.mesh.cols != tcol:
+        dst = pkt.dst
+        if dst == prime or dst % self._cols != tcol:
             return False
-        rt = self.engine.round_trip_cycles(prime, pkt.dst, pkt.size)
+        rt = self._rt[prime * self._nr + dst] + 2 * pkt.size
         if now + rt > slot_end:
             return False
         # Lane-schedule degradation: a prime never launches onto a lane
@@ -80,46 +112,66 @@ class FastPassManager:
         """
         net = self.net
         ni = net.nis[prime]
+        router = net.routers[prime]
+        # Fast path: nothing queued and nothing buffered at the prime —
+        # (every slot holding a packet is in the occupied list, so an
+        # empty list means the VC scan below would find nothing).
+        if ni.inj_count == 0 and not router.occupied:
+            return None
         # 1. Injection buffers, request queue first (Qn 2 / Qn 6).
-        order = [MessageClass.REQUEST] + \
-            [m for m in MessageClass if m != MessageClass.REQUEST]
-        for cls in order:
+        for cls in self._cls_order:
             q = ni.inj[cls]
             if q and self._eligible(q[0], prime, tcol, now, slot_end):
                 pkt = q[0]
                 return pkt, lambda q=q, pkt=pkt: self._take_injection(ni,
                                                                       q, pkt)
-        # 2. Input-port VC slots, round-robin.
-        router = net.routers[prime]
-        flat = [s for port_slots in router.slots for s in port_slots]
-        n = len(flat)
-        start = self._scan_rr[c] % n
-        for k in range(n):
-            slot = flat[(start + k) % n]
-            pkt = slot.pkt
-            if pkt is None or slot.ready_at > now:
-                continue
-            if self._eligible(pkt, prime, tcol, now, slot_end):
-                self._scan_rr[c] = start + k + 1
-                return pkt, lambda slot=slot, pkt=pkt: self._take_slot(
-                    ni, slot, pkt, now)
+        # 2. Input-port VC slots, round-robin.  Only occupied slots can
+        # match, so scan those — ordered by their flat index relative to
+        # the rr pointer, which reproduces the full flat scan exactly.
+        occ = router.occupied
+        if occ:
+            n = len(router.all_slots)
+            start = self._scan_rr[c] % n
+            nv = router.n_vcs_total
+            cands = []
+            for slot in occ:
+                pkt = slot.pkt
+                if pkt is not None and slot.ready_at <= now:
+                    cands.append(
+                        ((slot.port * nv + slot.vc - start) % n, slot))
+            if cands:
+                cands.sort(key=lambda t: t[0])
+                for off, slot in cands:
+                    pkt = slot.pkt
+                    if self._eligible(pkt, prime, tcol, now, slot_end):
+                        self._scan_rr[c] = start + off + 1
+                        return pkt, \
+                            lambda slot=slot, pkt=pkt: self._take_slot(
+                                ni, router, slot, pkt, now)
         return None
 
     # -- removal callbacks ---------------------------------------------------
     def _take_injection(self, ni, q, pkt) -> None:
         q.remove(pkt)
+        ni.inj_count -= 1
+        self.net.inj_total -= 1
         pkt.net_entry = self.net.cycle
         pkt.rejected = False
         self.net.stats.injected += 1
         self.upgrades_from_injection += 1
 
-    def _take_slot(self, ni, slot, pkt, now: int) -> None:
+    def _take_slot(self, ni, router, slot, pkt, now: int) -> None:
+        router.disturb()           # the upgrade empties (or refills) a slot
         slot.pkt = None
+        self.net.buffered -= 1
         rejected = self._pending_rejected(ni)
         if rejected is not None:
             # Green path: the bounced packet moves into the freed VC slot;
             # the upstream credit is NOT returned (the slot stays occupied).
             ni.inj[MessageClass.REQUEST].remove(rejected)
+            ni.inj_count -= 1
+            self.net.inj_total -= 1
+            self.net.buffered += 1
             slot.pkt = rejected
             slot.ready_at = now + 1
             slot.free_at = 1 << 60

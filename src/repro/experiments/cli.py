@@ -269,6 +269,9 @@ def main(argv=None) -> int:
         return _campaign_main(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.experiments import perf
+        return perf.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of the FastPass paper "

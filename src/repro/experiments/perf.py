@@ -1,0 +1,247 @@
+"""Performance-regression harness: ``repro-experiments perf snapshot``.
+
+Runs a fixed micro-sweep (low-load and moderate-load uniform-random points
+for FastPass and EscapeVC on the paper's 8x8 mesh), times each point, and
+writes a ``BENCH_<n>.json`` snapshot with cycles/sec per point.  With
+``--compare BASELINE.json`` it prints per-point speedup ratios and exits
+non-zero when any point regresses by more than the allowed fraction
+(default: ratio < 0.75, i.e. >25% slower).
+
+The comparison also cross-checks the *simulation results* of each point
+(injected/ejected/latency/deadlock) against the baseline: the engine is
+required to stay bit-identical across optimisation work, so any drift is
+reported as a hard failure unless ``--allow-result-drift`` is given.
+
+Points run directly through :class:`repro.sim.engine.Simulation` — never
+through the campaign cache — so the measured wall time is always a real
+execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.config import SimConfig
+
+#: Workload of one snapshot.  ``(scheme, scheme_kwargs, pattern, rate)`` —
+#: the low-load (0.02-0.10) points are the regime the acceptance gate
+#: watches; the 0.30 points keep the loaded-mesh path honest.
+SNAPSHOT_POINTS = [
+    ("fastpass", {"n_vcs": 4}, "uniform", 0.02),
+    ("fastpass", {"n_vcs": 4}, "uniform", 0.05),
+    ("fastpass", {"n_vcs": 4}, "uniform", 0.10),
+    ("fastpass", {"n_vcs": 4}, "uniform", 0.30),
+    ("escapevc", {}, "uniform", 0.02),
+    ("escapevc", {}, "uniform", 0.05),
+    ("escapevc", {}, "uniform", 0.10),
+    ("escapevc", {}, "uniform", 0.30),
+]
+
+SNAPSHOT_SEED = 7
+DEFAULT_FAIL_UNDER = 0.75
+
+#: RunResult fields that must be bit-identical run-to-run for a fixed
+#: seed — the differential proof that engine work changed speed, not
+#: behaviour.  (NaN != NaN, so the check treats two NaNs as equal.)
+RESULT_FIELDS = ("injected", "ejected", "avg_latency", "p99_latency",
+                 "deadlocked", "cycles")
+
+
+def snapshot_config() -> SimConfig:
+    return SimConfig(rows=8, cols=8, warmup_cycles=200,
+                     measure_cycles=1000, drain_cycles=1500)
+
+
+def point_key(scheme: str, kwargs: dict, pattern: str, rate: float) -> str:
+    kw = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+    return f"{scheme}({kw})/{pattern}@{rate:g}"
+
+
+def _run_one(scheme_name: str, kwargs: dict, pattern: str, rate: float,
+             repeat: int) -> dict:
+    from repro.schemes import get_scheme
+    from repro.sim.engine import Simulation
+    from repro.traffic.synthetic import SyntheticTraffic
+
+    best = None
+    res = None
+    for _ in range(max(1, repeat)):
+        sim = Simulation(snapshot_config(),
+                         get_scheme(scheme_name, **kwargs),
+                         SyntheticTraffic(pattern, rate, seed=SNAPSHOT_SEED))
+        t0 = time.perf_counter()
+        res = sim.run()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+    return {
+        "key": point_key(scheme_name, kwargs, pattern, rate),
+        "scheme": scheme_name,
+        "scheme_kwargs": kwargs,
+        "pattern": pattern,
+        "rate": rate,
+        "cycles": res.cycles,
+        "wall_s": best,
+        "cycles_per_sec": res.cycles / best if best else float("inf"),
+        "injected": res.injected,
+        "ejected": res.ejected,
+        "avg_latency": res.avg_latency,
+        "p99_latency": res.p99_latency,
+        "deadlocked": res.deadlocked,
+    }
+
+
+def run_snapshot(repeat: int = 1, label: str | None = None) -> dict:
+    points = []
+    for scheme, kwargs, pattern, rate in SNAPSHOT_POINTS:
+        pt = _run_one(scheme, kwargs, pattern, rate, repeat)
+        print(f"  {pt['key']:40s} {pt['cycles']:>6d} cycles  "
+              f"{pt['wall_s'] * 1e3:8.1f} ms  "
+              f"{pt['cycles_per_sec']:10.0f} cyc/s")
+        points.append(pt)
+    total_wall = sum(p["wall_s"] for p in points)
+    total_cycles = sum(p["cycles"] for p in points)
+    return {
+        "kind": "repro-perf-snapshot",
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "seed": SNAPSHOT_SEED,
+        "repeat": repeat,
+        "total_wall_s": total_wall,
+        "total_cycles_per_sec": (total_cycles / total_wall
+                                 if total_wall else float("inf")),
+        "points": points,
+    }
+
+
+# -- snapshot files ------------------------------------------------------
+
+def perf_dir() -> Path:
+    root = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    return root / "perf"
+
+
+def next_snapshot_path(directory: Path) -> Path:
+    """First free ``BENCH_<n>.json`` in ``directory``."""
+    taken = set()
+    for p in directory.glob("BENCH_*.json"):
+        stem = p.stem.split("_", 1)[1]
+        if stem.isdigit():
+            taken.add(int(stem))
+    n = 1
+    while n in taken:
+        n += 1
+    return directory / f"BENCH_{n}.json"
+
+
+def write_snapshot(snap: dict, out: str | None) -> Path:
+    if out:
+        path = Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    else:
+        directory = perf_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        path = next_snapshot_path(directory)
+    path.write_text(json.dumps(snap, indent=2) + "\n")
+    return path
+
+
+# -- comparison gate -----------------------------------------------------
+
+def _same(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float) \
+            and a != a and b != b:      # NaN == NaN for our purposes
+        return True
+    return a == b
+
+
+def compare(new: dict, base: dict, fail_under: float,
+            allow_result_drift: bool = False) -> int:
+    """Print per-point ratios; return a non-zero exit code on regression
+    (any point slower than ``fail_under`` x baseline) or result drift."""
+    base_by_key = {p["key"]: p for p in base["points"]}
+    worst = float("inf")
+    drift = []
+    print(f"\n  {'point':40s} {'base cyc/s':>12s} {'new cyc/s':>12s} "
+          f"{'ratio':>7s}")
+    for pt in new["points"]:
+        ref = base_by_key.get(pt["key"])
+        if ref is None:
+            print(f"  {pt['key']:40s} {'-':>12s} "
+                  f"{pt['cycles_per_sec']:12.0f}   (new point)")
+            continue
+        ratio = pt["cycles_per_sec"] / ref["cycles_per_sec"]
+        worst = min(worst, ratio)
+        print(f"  {pt['key']:40s} {ref['cycles_per_sec']:12.0f} "
+              f"{pt['cycles_per_sec']:12.0f} {ratio:6.2f}x")
+        for field in RESULT_FIELDS:
+            if field in ref and not _same(pt.get(field), ref.get(field)):
+                drift.append((pt["key"], field,
+                              ref.get(field), pt.get(field)))
+    if worst is not float("inf"):
+        print(f"  worst ratio: {worst:.2f}x "
+              f"(gate: >= {fail_under:.2f}x of baseline)")
+    rc = 0
+    if drift:
+        print("\n  RESULT DRIFT vs baseline (engine no longer "
+              "bit-identical):")
+        for key, field, old, cur in drift:
+            print(f"    {key}: {field} {old!r} -> {cur!r}")
+        if not allow_result_drift:
+            rc = 2
+    if worst < fail_under:
+        print(f"\n  PERF REGRESSION: worst point at {worst:.2f}x of "
+              f"baseline (< {fail_under:.2f}x)")
+        rc = rc or 1
+    return rc
+
+
+# -- CLI -----------------------------------------------------------------
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments perf",
+        description="Fixed micro-sweep timing snapshots and the "
+                    "perf-regression gate.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_snap = sub.add_parser("snapshot",
+                            help="time the micro-sweep and write "
+                                 "BENCH_<n>.json")
+    p_snap.add_argument("--out", default=None, metavar="PATH",
+                        help="snapshot path (default: results/perf/"
+                             "BENCH_<n>.json)")
+    p_snap.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="compare against a baseline snapshot and "
+                             "fail on regression")
+    p_snap.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="time each point N times, keep the best "
+                             "(default: 1)")
+    p_snap.add_argument("--label", default=None,
+                        help="free-form label stored in the snapshot")
+    p_snap.add_argument("--fail-under", type=float,
+                        default=DEFAULT_FAIL_UNDER, metavar="R",
+                        help="minimum acceptable new/baseline cycles/sec "
+                             f"ratio (default: {DEFAULT_FAIL_UNDER})")
+    p_snap.add_argument("--allow-result-drift", action="store_true",
+                        help="demote simulation-result mismatches vs the "
+                             "baseline from errors to warnings")
+    args = parser.parse_args(argv)
+
+    print("perf snapshot: "
+          f"{len(SNAPSHOT_POINTS)} points, seed {SNAPSHOT_SEED}")
+    snap = run_snapshot(repeat=args.repeat, label=args.label)
+    path = write_snapshot(snap, args.out)
+    print(f"  snapshot written to {path}")
+    if not args.compare:
+        return 0
+    base = json.loads(Path(args.compare).read_text())
+    return compare(snap, base, args.fail_under,
+                   allow_result_drift=args.allow_result_drift)

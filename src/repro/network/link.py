@@ -93,15 +93,22 @@ class VCSlot:
     * ``ready_at`` — cycle at which the head flit is present and the packet
       may compete for the switch,
     * ``free_at`` — cycle at which the slot may be re-allocated by the
-      upstream router (tail drained + credit returned).
+      upstream router (tail drained + credit returned),
+    * ``retry_at``/``retry_pid`` — arbitration memo: the head packet
+      (identified by pid, so a swapped-in packet never inherits it) has a
+      proven lower bound on its earliest possible move and skips switch
+      arbitration until then.  Topology/reroute changes clear it.
     """
 
-    __slots__ = ("pkt", "ready_at", "free_at", "port", "vc")
+    __slots__ = ("pkt", "ready_at", "free_at", "retry_at", "retry_pid",
+                 "port", "vc")
 
     def __init__(self, port: int, vc: int):
         self.pkt = None
         self.ready_at = 0
         self.free_at = 0
+        self.retry_at = 0
+        self.retry_pid = -1
         self.port = port
         self.vc = vc
 

@@ -6,6 +6,15 @@ ejection queues support FastPass's pro-active *reservation* (Sec. III-C4,
 Qn 3) and the injection request queue supports the *dynamic bubble*
 dropping/regeneration mechanism (dropped requests are rebuilt from the
 local MSHR after a small delay).
+
+Each NI participates in the network's active sets: it is inject-active
+while ``pending`` or any ``inj`` queue is non-empty, and consume-active
+while any ``ej`` queue is non-empty (NIs with an attached processor model
+are always visited in the consume phase — see
+:meth:`repro.network.network.Network.note_consumer`).  The queue
+occupancies feed the network-wide incremental counters (``pending_total``,
+``inj_total``, ``limbo``), so every enqueue/dequeue below is paired with a
+counter update.
 """
 
 from __future__ import annotations
@@ -54,21 +63,44 @@ class NetworkInterface:
       generation time, the standard open-loop methodology);
     * ``inj`` holds one bounded queue per message class;
     * ``ej`` holds one bounded queue per message class.
+
+    (No ``__slots__`` here on purpose: the trace layer and several tests
+    monkeypatch NI methods per instance, which needs a ``__dict__``.)
     """
 
     def __init__(self, rid: int, cfg, net):
         self.id = rid
         self.cfg = cfg
         self.net = net
+        self.router = net.routers[rid]   # co-located router (built first)
         self.pending = deque()
         self.inj = [deque() for _ in range(N_CLASSES)]
         self.ej = [EjectionQueue(cfg.ej_queue_pkts) for _ in range(N_CLASSES)]
+        #: total packets across the ``inj`` queues (mirrors
+        #: ``sum(len(q) for q in inj)``; audited by the paranoia checks)
+        self.inj_count = 0
         self.inj_busy_until = 0
+        #: active-engine skip bound: while ``pending`` is empty and the
+        #: injection port is serialising, :meth:`inject_step` is provably a
+        #: no-op (no refill, no round-robin advance) until this cycle —
+        #: the cycle loop skips the call.  Reset whenever work arrives
+        #: (:meth:`repro.network.network.Network.wake_inject`).
+        self._inj_skip = 0
         self._inj_rr = 0
         self.consumer = None   # set by the traffic model
         # Statistics of the dynamic-bubble mechanism.
         self.dropped = 0
         self.regenerated = 0
+
+    @property
+    def consumer(self):
+        return self._consumer
+
+    @consumer.setter
+    def consumer(self, value) -> None:
+        self._consumer = value
+        if value is not None:
+            self.net.note_consumer()
 
     # -- generation ------------------------------------------------------
     def source(self, pkt) -> None:
@@ -80,35 +112,56 @@ class NetworkInterface:
             # processor/LLC model must still see the message.
             pkt.eject_cycle = pkt.gen_cycle + 1
             self.net.stats.record_ejected(pkt)
-            if self.consumer is not None:
-                self.consumer.on_local(self, pkt)
+            if self._consumer is not None:
+                self._consumer.on_local(self, pkt)
             return
         self.pending.append(pkt)
+        self.net.pending_total += 1
+        self.net.wake_inject(self.id)
 
     # -- injection -------------------------------------------------------
     def inject_step(self, now: int) -> None:
-        cfg = self.cfg
+        net = self.net
+        inj = self.inj
         # Refill the bounded per-class injection queues from the source.
-        while self.pending and self.pending[0].gen_cycle <= now:
-            pkt = self.pending[0]
-            q = self.inj[pkt.mclass]
-            if len(q) >= cfg.inj_queue_pkts:
-                break
-            q.append(pkt)
-            self.pending.popleft()
+        pending = self.pending
+        if pending and pending[0].gen_cycle <= now:
+            cap = self.cfg.inj_queue_pkts
+            while pending and pending[0].gen_cycle <= now:
+                pkt = pending[0]
+                q = inj[pkt.mclass]
+                if len(q) >= cap:
+                    break
+                q.append(pkt)
+                pending.popleft()
+                self.inj_count += 1
+                net.inj_total += 1
+                net.pending_total -= 1
+        if self.inj_count == 0:
+            # Nothing to inject; drop out of the active set unless the
+            # source queue still holds work for later cycles.
+            if not pending:
+                net._inj_active.discard(self.id)
+            return
         if self.inj_busy_until > now:
+            if not pending:
+                self._inj_skip = self.inj_busy_until
             return
         # Round-robin across classes; claim a free local-port VC slot.
-        router = self.net.routers[self.id]
+        router = self.router
         local_slots = router.slots[0]
+        inj_vcs = router._inj_vcs
+        rr = self._inj_rr % N_CLASSES
         for k in range(N_CLASSES):
-            cls = (self._inj_rr + k) % N_CLASSES
-            q = self.inj[cls]
+            cls = rr + k
+            if cls >= N_CLASSES:
+                cls -= N_CLASSES
+            q = inj[cls]
             if not q:
                 continue
             pkt = q[0]
             slot = None
-            for vc in router.vn_vcs(pkt.vn):
+            for vc in inj_vcs[pkt.vn]:
                 s = local_slots[vc]
                 if s.pkt is None and s.free_at <= now:
                     slot = s
@@ -116,16 +169,19 @@ class NetworkInterface:
             if slot is None:
                 continue
             q.popleft()
+            self.inj_count -= 1
+            net.inj_total -= 1
+            net.buffered += 1
             slot.pkt = pkt
             slot.ready_at = now + 1
             slot.free_at = 1 << 60
-            router.occupied.append(slot)
+            router.admit(slot)
             pkt.net_entry = now
             pkt.rejected = False
             self.inj_busy_until = now + pkt.size
             self._inj_rr = cls + 1
-            self.net.last_progress = now
-            self.net.stats.injected += 1
+            net.last_progress = now
+            net.stats.injected += 1
             break
 
     # -- ejection ----------------------------------------------------------
@@ -135,6 +191,7 @@ class NetworkInterface:
     def eject(self, pkt, now: int) -> None:
         pkt.eject_cycle = now + 1
         self.ej[pkt.mclass].push(pkt)
+        self.net.wake_consume(self.id)
         self.net.stats.record_ejected(pkt)
 
     #: default ejection-drain bandwidth (packets/node/cycle) when no
@@ -151,17 +208,25 @@ class NetworkInterface:
         ejected packets are consumed almost immediately (as the paper
         observes) but not instantaneously.
         """
-        if self.consumer is not None:
-            self.consumer.consume(self, now)
+        if self._consumer is not None:
+            self._consumer.consume(self, now)
             return
         budget = self.CONSUME_RATE
+        ej = self.ej
+        rr = self._inj_rr % N_CLASSES
         for k in range(N_CLASSES):
-            q = self.ej[(self._inj_rr + k) % N_CLASSES]
-            while q.q and budget:
-                q.q.popleft()
+            cls = rr + k
+            if cls >= N_CLASSES:
+                cls -= N_CLASSES
+            q = ej[cls].q
+            while q and budget:
+                q.popleft()
                 budget -= 1
             if not budget:
                 break
+        if budget:
+            # Budget left over means every ejection queue drained dry.
+            self.net._con_active.discard(self.id)
 
     # -- dynamic bubble support (FastPass) ---------------------------------
     def make_bubble(self, now: int) -> bool:
@@ -176,6 +241,9 @@ class NetworkInterface:
         for i, pkt in enumerate(q):
             if not pkt.rejected:
                 del q[i]
+                self.inj_count -= 1
+                self.net.inj_total -= 1
+                self.net.limbo += 1
                 self.dropped += 1
                 self.net.stats.dropped += 1
                 pkt.drop_count += 1
@@ -190,6 +258,9 @@ class NetworkInterface:
         ``gen_cycle`` is kept, so latency stays charged from first issue."""
         self.regenerated += 1
         self.pending.appendleft(pkt)
+        self.net.limbo -= 1
+        self.net.pending_total += 1
+        self.net.wake_inject(self.id)
 
     def accept_bounced(self, pkt, now: int) -> None:
         """Receive a bounced FastPass-Packet into the request injection
@@ -204,7 +275,10 @@ class NetworkInterface:
         pkt.rejected = True
         pkt.invalidate_route()
         q.appendleft(pkt)
+        self.inj_count += 1
+        self.net.inj_total += 1
+        self.net.wake_inject(self.id)
 
     # -- introspection ------------------------------------------------------
     def inj_occupancy(self) -> int:
-        return sum(len(q) for q in self.inj)
+        return self.inj_count

@@ -7,9 +7,34 @@ head packet claims the first available candidate move (output port free,
 no FastFlow reservation conflict, downstream VC credit available).  Output
 ports are granted at most once per cycle; serialization keeps a port busy
 for ``size`` cycles per packet.
+
+Active-set contract: a router is in the network's active set exactly while
+its ``occupied`` list (or a scheme-specific side buffer) is non-empty.
+Every code path that hands a router a packet goes through :meth:`admit`
+(or wakes the router explicitly); :meth:`step` puts the router back to
+sleep when it runs out of work.
+
+Parking: when a step finds every head provably stuck — blocked by its own
+timers (``slot.ready_at`` / ``in_busy``), by a busy link, or by downstream
+credits (an empty VC frees at ``free_at``; an occupied VC cannot return
+its credit before two cycles out, since every vacate path sets ``free_at``
+at least one cycle past the vacate cycle) — a lower bound on the earliest
+useful cycle is known and the router *parks*: subsequent steps return
+immediately until that cycle.  Heads at their ejection port never park
+(queue capacity is not timer-predictable).  A skipped step would only
+have advanced the round-robin offset and rotated the occupied list, so
+the wake path replays the skipped steps in closed form and the observable
+state is bit-identical to stepping every cycle.  Any outside agent that
+mutates a router's slots (or reads the occupied list order) must call
+:meth:`disturb` first; :meth:`admit` and :meth:`blocked_heads` do so
+themselves, and the fault injector disturbs every router on topology
+changes (reroute install/heal can unblock a head earlier than its parked
+bound), which covers every scheme in the tree.
 """
 
 from __future__ import annotations
+
+from bisect import insort
 
 from repro.network.link import VCSlot
 from repro.network.topology import PORT_LOCAL
@@ -20,6 +45,12 @@ INF = 1 << 60
 class Router:
     """Baseline router; schemes subclass and override the small hooks
     (:meth:`moves`, :meth:`step` for radically different datapaths)."""
+
+    __slots__ = ("id", "mesh", "cfg", "net", "n_ports", "n_vcs_total",
+                 "slots", "all_slots", "occupied", "links_out", "neighbors",
+                 "eject_busy_until", "in_busy", "rr", "routing_fn",
+                 "_vn_vcs", "_inj_vcs", "_mv_memo", "_wake_at", "_parked_sw",
+                 "_esc_stride", "_hop_latency", "_inline_xfer", "_ni")
 
     def __init__(self, rid: int, mesh, cfg, net):
         self.id = rid
@@ -32,6 +63,10 @@ class Router:
             [VCSlot(p, v) for v in range(self.n_vcs_total)]
             for p in range(self.n_ports)
         ]
+        #: flat port-major view of ``slots`` (scan order of the FastPass
+        #: prime round-robin); immutable, built once
+        self.all_slots = tuple(s for port_slots in self.slots
+                               for s in port_slots)
         #: occupied VC slots (lazily pruned each cycle)
         self.occupied: list[VCSlot] = []
         self.links_out = [None] * self.n_ports     # Link per output port
@@ -44,6 +79,24 @@ class Router:
         self.in_busy = [0] * self.n_ports
         self.rr = rid  # rotating arbitration offset
         self.routing_fn = net.routing_fn
+        #: memoised candidate moves keyed on ``(dst*6 + vn)*2 + escape`` —
+        #: minimal routing is a pure function of (mesh, rid, dst), so the
+        #: table is exact.  The escape bit is always 0 for the base router;
+        #: EscapeVC sets ``_esc_stride`` so :meth:`step` can key the
+        #: escape-subnetwork move set without a dynamic dispatch.
+        self._mv_memo: dict[int, tuple] = {}
+        self._esc_stride = 0
+        self._hop_latency = cfg.router_latency + cfg.link_latency
+        #: True when this class inherits the base datapath: ``step`` may
+        #: then run the transfer inline instead of dispatching (TFC etc.
+        #: override :meth:`_transfer` and keep the dynamic call)
+        self._inline_xfer = type(self)._transfer is Router._transfer
+        self._ni = None        # the co-located NI, set by Network wiring
+        # Parking state: while ``_parked_sw >= 0`` the router sleeps until
+        # cycle ``_wake_at``; ``_parked_sw`` remembers ``net.switch_cycles``
+        # at park time so the skipped steps can be replayed in closed form.
+        self._wake_at = 0
+        self._parked_sw = -1
         # Per-VN VC index ranges; a single "VN" (FastPass, Pitstop) shares
         # all VCs among every message class.
         if cfg.n_vns > 1:
@@ -54,75 +107,290 @@ class Router:
         else:
             all_vcs = tuple(range(self.n_vcs_total))
             self._vn_vcs = [all_vcs] * 6
+        #: injection VC preference order per VN (EscapeVC reorders it);
+        #: the NI indexes this directly on the injection hot path
+        self._inj_vcs = self._vn_vcs
 
     # -- hooks ----------------------------------------------------------
-    def moves(self, pkt) -> tuple:
+    def moves(self, pkt, slot=None) -> tuple:
         """Candidate moves for ``pkt`` at this router, as a tuple of
-        ``(out_port, downstream_vc_indices)`` pairs.  Cached on the packet
-        until it moves."""
-        cached = pkt.route_cache(self.id)
-        if cached is not None:
-            return cached
-        reroute = self.net.reroute
-        if reroute is not None:
-            outs = reroute.ports(self.id, pkt.dst)
-        else:
+        ``(out_port, downstream_vc_indices)`` pairs.  Minimal routing is a
+        pure function of (mesh, router, destination), so results are
+        memoised per (dst, VN) for the life of the router — except in
+        degraded (reroute) mode, where paths change as faults come and go
+        and every lookup goes to the live table."""
+        if self.net.reroute is not None:
+            outs = self.net.reroute.ports(self.id, pkt.dst)
+            vcs = self._vn_vcs[pkt.vn]
+            return tuple((o, vcs) for o in outs)
+        key = (pkt.dst * 6 + pkt.vn) * 2    # vn < 6 always; escape bit 0
+        mv = self._mv_memo.get(key)
+        if mv is None:
             outs = self.routing_fn(self.mesh, self.id, pkt.dst)
-        vcs = self._vn_vcs[pkt.vn]
-        mv = tuple((o, vcs) for o in outs)
-        pkt.set_route_cache(self.id, mv)
+            vcs = self._vn_vcs[pkt.vn]
+            mv = self._mv_memo[key] = tuple((o, vcs) for o in outs)
         return mv
 
     def vn_vcs(self, vn: int) -> tuple:
-        return self._vn_vcs[vn]
+        return self._inj_vcs[vn]
+
+    def warm_routes(self) -> None:
+        """Fill the route memo for every (destination, VN) pair at
+        elaboration time.  Minimal routing is a pure function of
+        (mesh, router, destination), so the table is exact and run-time
+        lookups always hit — short measured runs never pay cold misses."""
+        memo = self._mv_memo
+        mesh = self.mesh
+        rid = self.id
+        routing_fn = self.routing_fn
+        vn_vcs = self._vn_vcs
+        for dst in range(mesh.n_routers):
+            outs = routing_fn(mesh, rid, dst)
+            base = dst * 12
+            prev_vcs = mv = None
+            for vn in range(6):
+                vcs = vn_vcs[vn]
+                if vcs is not prev_vcs:
+                    mv = tuple((o, vcs) for o in outs)
+                    prev_vcs = vcs
+                memo[base + vn * 2] = mv
+
+    def admit(self, slot) -> None:
+        """List ``slot`` (which just received a packet) as occupied and
+        wake this router.  The single entry point for handing a router a
+        packet — transfers, injections, and scheme rotations all land
+        here, so the active set can never miss an arrival."""
+        if self._parked_sw >= 0:
+            self.disturb()
+        self.occupied.append(slot)
+        # Inlined Network.wake_router — admit rides on every transfer.
+        net = self.net
+        rid = self.id
+        act = net._r_active
+        if rid not in act:
+            act.add(rid)
+            todo = net._stepping
+            if todo is not None and rid > todo[net._step_idx]:
+                insort(todo, rid, net._step_idx + 1)
+
+    # -- parking ----------------------------------------------------------
+    def disturb(self) -> None:
+        """Cancel a park because external state is about to change (or the
+        occupied-list order is about to be observed).  Replays the steps
+        the guard skipped so the state is exactly what per-cycle stepping
+        would have produced."""
+        if self._parked_sw < 0:
+            return
+        net = self.net
+        k = net.switch_cycles - self._parked_sw
+        todo = net._stepping
+        if todo is not None:
+            if todo[net._step_idx] < self.id:
+                k -= 1     # this cycle's own (guarded) step is still pending
+        elif 0 <= net._step_pos < self.id:
+            k -= 1         # same, in the naive sweep
+        self._unpark(k)
+
+    def _unpark(self, skipped: int) -> None:
+        """Apply the net effect of ``skipped`` guarded steps: each one
+        advanced ``rr`` by one and left-rotated the occupied list by its
+        pre-increment ``rr % n``."""
+        self._wake_at = 0
+        self._parked_sw = -1
+        if skipped <= 0:
+            return
+        occ = self.occupied
+        n = len(occ)
+        rot = (skipped * self.rr + skipped * (skipped - 1) // 2) % n
+        self.rr += skipped
+        if rot:
+            self.occupied = occ[rot:] + occ[:rot]
 
     # -- switch allocation ------------------------------------------------
     def step(self, now: int) -> None:
+        if now < self._wake_at:
+            return                      # parked: nothing can move yet
+        net = self.net
+        if self._parked_sw >= 0:
+            self._unpark(net.switch_cycles - self._parked_sw - 1)
         occ = self.occupied
         n = len(occ)
         if n == 0:
+            net.sleep_router(self.id)
             return
-        taken = 0  # bitmask of output ports granted this cycle
-        survivors = []
         start = self.rr % n
         self.rr += 1
-        order = range(start, n + start)
-        net = self.net
-        for i in order:
-            slot = occ[i - n] if i >= n else occ[i]
+        if start:
+            occ = occ[start:] + occ[:start]
+        taken = 0  # bitmask of output ports granted this cycle
+        survivors = []
+        survive = survivors.append
+        in_busy = self.in_busy
+        arb = False  # arbitration-only locals bound on first live head
+        parkable = True
+        wake = INF
+        now1 = now + 1
+        for slot in occ:
             pkt = slot.pkt
             if pkt is None:
                 continue
-            if slot.ready_at > now or self.in_busy[slot.port] > now:
-                survivors.append(slot)
+            ready = slot.ready_at
+            if ready > now:
+                survive(slot)
+                if parkable:
+                    busy = in_busy[slot.port]
+                    if busy > ready:
+                        ready = busy
+                    if ready < wake:
+                        wake = ready
                 continue
-            mv = self.moves(pkt)
+            busy = in_busy[slot.port]
+            if busy > now:
+                survive(slot)
+                if parkable and busy < wake:
+                    wake = busy
+                continue
+            retry = slot.retry_at
+            if retry > now and slot.retry_pid == pkt.pid:
+                # A previous arbitration proved this head cannot move
+                # before ``retry``: skip the rescan until then.
+                survive(slot)
+                if parkable and retry < wake:
+                    wake = retry
+                continue
+            if not arb:
+                arb = True
+                links_out = self.links_out
+                neighbors = self.neighbors
+                memo = self._mv_memo
+                reroute = net.reroute
+                esc_stride = self._esc_stride
+                inline_xfer = self._inline_xfer
+                hop_latency = self._hop_latency
+                now2 = now + 2
+            # Inline memo probe (the common case); moves() handles misses,
+            # degraded (reroute) mode, and subclass-specific move sets.
+            if reroute is None:
+                key = (pkt.dst * 6 + pkt.vn) * 2
+                if esc_stride and slot.vc == pkt.vn * esc_stride:
+                    key += 1
+                try:
+                    mv = memo[key]     # warm_routes makes the table total
+                except KeyError:
+                    mv = self.moves(pkt, slot)
+            else:
+                mv = self.moves(pkt, slot)
             if mv and mv[0][0] == PORT_LOCAL:
+                eb = self.eject_busy_until
+                if eb > now:
+                    # The ejection port itself is serialising: a pure
+                    # (raise-only) timer, so the head may park on it.
+                    survive(slot)
+                    if parkable and eb < wake:
+                        wake = eb
+                    continue
                 if self._try_eject(slot, pkt, now):
                     continue
-                survivors.append(slot)
+                # Queue capacity is not timer-predictable: no park.
+                parkable = False
+                survive(slot)
                 continue
+            # Arbitration.  While trying moves, also track a provable
+            # lower bound on the earliest cycle this head could possibly
+            # move, so a fully blocked router can park even mid-traffic:
+            #   * a port granted this cycle may be free again next cycle;
+            #   * a busy link frees at ``busy_until``;
+            #   * an empty downstream VC becomes claimable at ``free_at``;
+            #   * an occupied downstream VC cannot return its credit
+            #     before ``now + 2`` (every vacate path sets ``free_at``
+            #     at least one cycle past the vacate cycle).
             moved = False
+            bound = INF
             for out, vcs in mv:
                 bit = 1 << out
+                link = links_out[out]
                 if taken & bit:
+                    # Granted earlier this cycle: the winning transfer
+                    # stamped the link busy until its tail passes, and the
+                    # link serialises — that stamp is this head's bound.
+                    lb = link.busy_until
+                    if lb <= now:
+                        lb = now1   # subclass transfer without a stamp
+                    if lb < bound:
+                        bound = lb
                     continue
-                link = self.links_out[out]
-                if link is None or link.busy_until > now:
+                if link is None:
                     continue
-                link.prune(now)
-                if link.fp_windows and link.fp_conflict(now, now + pkt.size):
+                lb = link.busy_until
+                if lb > now:
+                    if lb < bound:
+                        bound = lb
                     continue
-                dslot = self._claim_downstream(link, vcs, now)
-                if dslot is None:
-                    continue
-                self._transfer(slot, pkt, link, dslot, now)
-                taken |= bit
-                moved = True
-                break
+                if link.fp_windows:
+                    link.prune(now)
+                    if link.fp_conflict(now, now + pkt.size):
+                        bound = now1   # reservations churn: no prediction
+                        continue
+                nbr = neighbors[out]
+                dslots = nbr.slots[link.dst_port]
+                for vc in vcs:
+                    dslot = dslots[vc]
+                    if dslot.pkt is None:
+                        fa = dslot.free_at
+                        if fa <= now:
+                            if inline_xfer:
+                                # Inlined ``_transfer`` + downstream
+                                # ``admit`` (base datapath only).
+                                dslot.pkt = pkt
+                                dslot.ready_at = now + hop_latency
+                                dslot.free_at = INF
+                                if nbr._parked_sw >= 0:
+                                    nbr.disturb()
+                                nbr.occupied.append(dslot)
+                                rid = nbr.id
+                                act = net._r_active
+                                if rid not in act:
+                                    act.add(rid)
+                                    todo = net._stepping
+                                    if todo is not None \
+                                            and rid > todo[net._step_idx]:
+                                        insort(todo, rid,
+                                               net._step_idx + 1)
+                                slot.pkt = None
+                                size = pkt.size
+                                end = now + size
+                                slot.free_at = end + 1
+                                in_busy[slot.port] = end
+                                link.busy_until = end
+                                link.inflight = [dslot, slot, end]
+                                link.util_flits += size
+                                pkt.hops += 1
+                            else:
+                                self._transfer(slot, pkt, link, dslot, now)
+                            taken |= bit
+                            moved = True
+                            break
+                        if fa < bound:
+                            bound = fa
+                    elif now2 < bound:
+                        bound = now2
+                if moved:
+                    break
             if not moved:
-                survivors.append(slot)
+                survive(slot)
+                if bound > now1:
+                    slot.retry_at = bound
+                    slot.retry_pid = pkt.pid
+                if parkable and bound < wake:
+                    wake = bound
         self.occupied = survivors
+        if not survivors:
+            net.sleep_router(self.id)
+        elif parkable and wake > now1:
+            # Every surviving head is provably stuck until at least
+            # ``wake``: sleep until then.
+            self._wake_at = wake
+            self._parked_sw = net.switch_cycles
         if taken:
             net.last_progress = now
 
@@ -136,37 +404,70 @@ class Router:
         return None
 
     def _transfer(self, slot, pkt, link, dslot, now: int) -> None:
-        cfg = self.cfg
         dslot.pkt = pkt
-        dslot.ready_at = now + cfg.router_latency + cfg.link_latency
+        dslot.ready_at = now + self._hop_latency
         dslot.free_at = INF
+        # Inlined ``admit`` on the downstream router (one call per hop).
         nbr = self.neighbors[link.src_port]
+        if nbr._parked_sw >= 0:
+            nbr.disturb()
         nbr.occupied.append(dslot)
+        net = self.net
+        rid = nbr.id
+        act = net._r_active
+        if rid not in act:
+            act.add(rid)
+            todo = net._stepping
+            if todo is not None and rid > todo[net._step_idx]:
+                insort(todo, rid, net._step_idx + 1)
         slot.pkt = None
-        slot.free_at = now + pkt.size + 1  # tail drain + credit return
-        self.in_busy[slot.port] = now + pkt.size
-        link.start_transfer(now, pkt.size, dslot, slot)
+        size = pkt.size
+        slot.free_at = now + size + 1  # tail drain + credit return
+        self.in_busy[slot.port] = now + size
+        # Inlined Link.start_transfer (one call per hop adds up).
+        link.busy_until = now + size
+        link.inflight = [dslot, slot, now + size]
+        link.util_flits += size
         pkt.hops += 1
-        pkt.invalidate_route()
 
     def _try_eject(self, slot, pkt, now: int) -> bool:
         if self.eject_busy_until > now:
             return False
-        ni = self.net.nis[self.id]
-        if not ni.can_eject(pkt, now):
+        # Inlined EjectionQueue.can_accept + NI.eject: ejection rides on
+        # every delivered packet, and no tracer hooks these methods (the
+        # observer hook lives on stats.record_ejected, still called).
+        q = self._ni.ej[pkt.mclass]
+        res = q.reservations
+        if pkt.pid in res:
+            if len(q.q) >= q.cap:
+                return False
+            res.discard(pkt.pid)
+        elif len(q.q) + len(res) >= q.cap:
             return False
-        self.eject_busy_until = now + pkt.size
+        size = pkt.size
+        self.eject_busy_until = now + size
         slot.pkt = None
-        slot.free_at = now + pkt.size + 1
-        self.in_busy[slot.port] = now + pkt.size
-        ni.eject(pkt, now)
-        self.net.last_progress = now
+        slot.free_at = now + size + 1
+        self.in_busy[slot.port] = now + size
+        net = self.net
+        net.buffered -= 1
+        pkt.eject_cycle = now + 1
+        q.q.append(pkt)
+        net._con_active.add(self.id)
+        net.stats.record_ejected(pkt)
+        net.last_progress = now
         return True
 
     # -- introspection (watchdog, SPIN, SWAP) ------------------------------
     def blocked_heads(self, now: int, threshold: int):
         """Occupied slots whose head has been ready but unable to move for
-        at least ``threshold`` cycles."""
+        at least ``threshold`` cycles.
+
+        Callers (SPIN/SWAP/SEEC/Pitstop/DRAIN selection) go on to mutate
+        the slots they pick and are sensitive to occupied-list order, so
+        the scan cancels any park first."""
+        if self._parked_sw >= 0:
+            self.disturb()
         out = []
         for slot in self.occupied:
             pkt = slot.pkt

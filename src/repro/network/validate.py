@@ -26,10 +26,23 @@ def check_invariants(net) -> None:
     4. credits: a slot with no packet never appears in two claims;
     5. ejection-queue reservations refer to live packet ids (packets not
        already ejected);
-    6. the in-transit counter is non-negative.
+    6. the in-transit counter is non-negative;
+    7. the incremental occupancy counters (``buffered``, ``inj_total``,
+       ``pending_total``, ``limbo`` and per-NI ``inj_count``) agree with a
+       full rescan of the slots and queues;
+    8. active-set coverage: every component that holds work is registered
+       in the corresponding active set (a router/NI missing from its set
+       would silently never be stepped by the active engine);
+    9. parking: a parked router still holds packets, every head blocked on
+       its own timers really is blocked until at least the wake cycle, and
+       the wake cycle is in the future — a violation means some code path
+       mutated a parked router's slots without calling ``disturb()``
+       first.  (Arbitration-blocked heads park on bounds proven from
+       downstream state at scan time, which cannot be re-audited later.)
     """
     now = net.cycle
     seen: dict[int, tuple] = {}
+    buffered_scan = 0
     for router in net.routers:
         listed = {id(s) for s in router.occupied}
         for port, slots in enumerate(router.slots):
@@ -37,6 +50,7 @@ def check_invariants(net) -> None:
                 pkt = slot.pkt
                 if pkt is None:
                     continue
+                buffered_scan += 1
                 if id(slot) not in listed and not _exempt(router, slot):
                     raise InvariantViolation(
                         f"router {router.id} port {port} vc {slot.vc}: "
@@ -52,18 +66,87 @@ def check_invariants(net) -> None:
                         f"packet {pkt.pid} is buffered at router "
                         f"{router.id} but already ejected at "
                         f"{pkt.eject_cycle}")
+        buffered_scan += router.extra_occupancy()
+        if ((router.occupied or router.extra_occupancy())
+                and router.id not in net._r_active):
+            raise InvariantViolation(
+                f"router {router.id} holds work but is not in the "
+                f"router active set")
+        if router._parked_sw >= 0:
+            _check_parked(net, router, now)
+    if buffered_scan != net.buffered:
+        raise InvariantViolation(
+            f"buffered counter drift: counter={net.buffered} "
+            f"rescan={buffered_scan}")
+    inj_scan = pending_scan = limbo_scan = 0
     for ni in net.nis:
         # (ejection-queue reservation liveness is covered by the
         # conservation property tests; ids alone cannot be validated here)
+        ni_inj = 0
         for cls, q in enumerate(ni.inj):
+            ni_inj += len(q)
             for pkt in q:
                 if pkt.pid in seen:
                     raise InvariantViolation(
                         f"packet {pkt.pid} both buffered (at "
                         f"{seen[pkt.pid]}) and queued at NI {ni.id}")
+        if ni_inj != ni.inj_count:
+            raise InvariantViolation(
+                f"NI {ni.id} inj_count drift: counter={ni.inj_count} "
+                f"rescan={ni_inj}")
+        inj_scan += ni_inj
+        pending_scan += len(ni.pending)
+        limbo_scan += ni.dropped - ni.regenerated
+        if (ni.pending or ni.inj_count) and ni.id not in net._inj_active:
+            raise InvariantViolation(
+                f"NI {ni.id} has injection work but is not in the "
+                f"inject active set")
+        if (not net._has_consumers and ni.id not in net._con_active
+                and any(len(q) for q in ni.ej)):
+            raise InvariantViolation(
+                f"NI {ni.id} has packets to consume but is not in the "
+                f"consume active set")
+    if inj_scan != net.inj_total:
+        raise InvariantViolation(
+            f"inj_total counter drift: counter={net.inj_total} "
+            f"rescan={inj_scan}")
+    if pending_scan != net.pending_total:
+        raise InvariantViolation(
+            f"pending_total counter drift: counter={net.pending_total} "
+            f"rescan={pending_scan}")
+    if limbo_scan != net.limbo:
+        raise InvariantViolation(
+            f"limbo counter drift: counter={net.limbo} "
+            f"rescan={limbo_scan} (dropped-regenerated)")
     if net.in_transit < 0:
         raise InvariantViolation(
             f"in_transit underflow: {net.in_transit}")
+
+
+def _check_parked(net, router, now: int) -> None:
+    """A parked router's guard state must be provably safe to sleep on."""
+    if not router.occupied:
+        raise InvariantViolation(
+            f"router {router.id} is parked but holds no packets")
+    # ``now`` may be the *next* cycle when the audit runs between steps
+    # (the cycle counter advances in the step tail), so a wake equal to
+    # ``now`` is legal — that cycle's step will unpark.  Strictly past is
+    # not: the router-phase step would already have cleared it.
+    wake = router._wake_at
+    if not net.suspended and wake < now:
+        raise InvariantViolation(
+            f"router {router.id} parked past its wake cycle "
+            f"({wake} < {now})")
+    for slot in router.occupied:
+        # A head's own timers cannot be compared against the wake cycle:
+        # the parked bound may come from downstream evidence (credits,
+        # busy links) that is larger than the head's own timers and has
+        # moved on since the parking scan.  The reachable hazard — a
+        # vacate that skipped disturb() — still shows up as an empty slot.
+        if slot.pkt is None:
+            raise InvariantViolation(
+                f"router {router.id} parked on an empty slot (port "
+                f"{slot.port} vc {slot.vc}): a mutation missed disturb()")
 
 
 def _exempt(router, slot) -> bool:

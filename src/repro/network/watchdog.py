@@ -18,14 +18,16 @@ def find_blocked_cycle(net, now: int, min_blocked: int = 1):
     occupied slot in a (port, VC) it is waiting on.  Returns the cycle as a
     list of (router_id, slot) pairs, or None.
     """
-    # Build adjacency: slot -> blocking slots.
+    # Build adjacency: slot -> blocking slots.  Only active routers can
+    # hold packets, so the scan skips the idle mesh.
     nodes = {}
-    for router in net.routers:
+    for router in net.active_routers():
+        router.disturb()       # materialise any parked rotation state
         for slot in router.occupied:
             pkt = slot.pkt
             if pkt is None or now - slot.ready_at < min_blocked:
                 continue
-            mv = router.moves(pkt)
+            mv = router.moves(pkt, slot)
             if mv and mv[0][0] == 0:      # waiting on ejection, not a VC
                 continue
             blockers = []

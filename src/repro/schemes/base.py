@@ -88,11 +88,33 @@ class Scheme:
     def build(self, net) -> None:
         """Called once after the network is wired."""
 
+    #: hook cadence declarations consumed by :meth:`hook_cadence` —
+    #: ``None`` auto-detects (1 if the hook is overridden, else 0/never);
+    #: a scheme whose hook self-gates on ``now % N`` declares ``N`` so the
+    #: active engine can skip the no-op calls entirely
+    pre_cycle_every: int | None = None
+    post_cycle_every: int | None = None
+
     def pre_cycle(self, net, now: int) -> None:
         pass
 
     def post_cycle(self, net, now: int) -> None:
         pass
+
+    def hook_cadence(self, cfg) -> tuple[int, int]:
+        """``(pre_every, post_every)``: how often the active-set engine
+        must invoke the per-cycle hooks.  0 = never, 1 = every cycle,
+        N = when ``now % N == 0``.  A declared N **must** match the hook's
+        own internal guard — the naive loop calls hooks unconditionally,
+        and the two modes are required to stay bit-identical."""
+        cls = type(self)
+        pre = cls.pre_cycle_every
+        if pre is None:
+            pre = 1 if cls.pre_cycle is not Scheme.pre_cycle else 0
+        post = cls.post_cycle_every
+        if post is None:
+            post = 1 if cls.post_cycle is not Scheme.post_cycle else 0
+        return pre, post
 
     # -- labels --------------------------------------------------------------
     @property

@@ -64,7 +64,8 @@ class DRAIN(Scheme):
     def _rotate(self, net, now: int) -> None:
         """One synchronous bufferless rotation step along the ring."""
         moves = []     # (src_slot, dst_slot, pkt, next_router)
-        for router in net.routers:
+        for router in net.active_routers():
+            router.disturb()   # the scan reads occupied order and ejects
             nxt = net.routers[self._ring_next[router.id]]
             ni = net.nis[router.id]
             for slot in router.occupied:
@@ -74,6 +75,7 @@ class DRAIN(Scheme):
                 if pkt.dst == router.id and ni.can_eject(pkt, now):
                     slot.pkt = None
                     slot.free_at = now + pkt.size + 1
+                    net.buffered -= 1
                     ni.eject(pkt, now)
                     net.last_progress = now
                     continue
@@ -89,7 +91,7 @@ class DRAIN(Scheme):
             dslot.pkt = pkt
             dslot.ready_at = now + 1
             dslot.free_at = 1 << 60
-            nxt.occupied.append(dslot)
+            nxt.admit(dslot)
             pkt.hops += 1
             pkt.deflections += 1
             pkt.invalidate_route()

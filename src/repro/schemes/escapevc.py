@@ -22,48 +22,71 @@ LOCAL_MOVE = ((PORT_LOCAL, ()),)
 class EscapeVCRouter(Router):
     """Router whose candidate moves depend on the current VC class."""
 
+    __slots__ = ()
+
+    def __init__(self, rid, mesh, cfg, net):
+        super().__init__(rid, mesh, cfg, net)
+        # Tells the base step's inline memo probe how to spot a packet
+        # sitting in its VN's escape VC (vc == vn * n_vcs).
+        self._esc_stride = cfg.n_vcs
+        # Injection prefers the adaptive VCs; the escape VC is last resort.
+        n_vcs = cfg.n_vcs
+        self._inj_vcs = [
+            tuple(range(vn * n_vcs + 1, (vn + 1) * n_vcs)) + (vn * n_vcs,)
+            for vn in range(6)
+        ]
+
     def moves(self, pkt, slot=None) -> tuple:
-        cached = pkt.route_cache(self.id)
-        if cached is not None:
-            return cached
         if pkt.dst == self.id:
-            pkt.set_route_cache(self.id, LOCAL_MOVE)
             return LOCAL_MOVE
         n_vcs = self.cfg.n_vcs
         esc = pkt.vn * n_vcs                    # escape VC of this VN
         in_escape = slot is not None and slot.vc == esc
-        reroute = self.net.reroute
-        if reroute is not None:
-            # Degraded mode: shortest surviving paths for both classes.
-            # The west-first escape guarantee does not survive a dead
-            # link anyway — a wedge here is the watchdog's to report.
-            wf = reroute.ports(self.id, pkt.dst)
-        else:
-            wf = route_west_first(self.mesh, self.id, pkt.dst)
-        esc_moves = tuple((o, (esc,)) for o in wf)
-        if in_escape:
-            mv = esc_moves
-        else:
+        if self.net.reroute is not None:
+            # Degraded mode: shortest surviving paths for both classes,
+            # looked up live (no memo — paths change as faults come and
+            # go).  The west-first escape guarantee does not survive a
+            # dead link anyway — a wedge here is the watchdog's to report.
+            wf = self.net.reroute.ports(self.id, pkt.dst)
+            esc_moves = tuple((o, (esc,)) for o in wf)
+            if in_escape:
+                return esc_moves
             normal = tuple(range(esc + 1, esc + n_vcs))
-            ad = wf if reroute is not None \
-                else route_adaptive(self.mesh, self.id, pkt.dst)
-            mv = tuple((o, normal) for o in ad) + esc_moves
-        pkt.set_route_cache(self.id, mv)
+            return tuple((o, normal) for o in wf) + esc_moves
+        key = (pkt.dst * 6 + pkt.vn) * 2 + in_escape
+        mv = self._mv_memo.get(key)
+        if mv is None:
+            wf = route_west_first(self.mesh, self.id, pkt.dst)
+            esc_moves = tuple((o, (esc,)) for o in wf)
+            if in_escape:
+                mv = esc_moves
+            else:
+                normal = tuple(range(esc + 1, esc + n_vcs))
+                ad = route_adaptive(self.mesh, self.id, pkt.dst)
+                mv = tuple((o, normal) for o in ad) + esc_moves
+            self._mv_memo[key] = mv
         return mv
 
-    def vn_vcs(self, vn: int) -> tuple:
-        # Injection prefers the adaptive VCs; the escape VC is last resort.
-        esc = vn * self.cfg.n_vcs
-        return tuple(range(esc + 1, esc + self.cfg.n_vcs)) + (esc,)
-
-    def step(self, now: int) -> None:
-        # The base step calls moves(pkt); EscapeVC needs the slot too, so
-        # we pre-warm the per-packet cache with slot knowledge here.
-        for slot in self.occupied:
-            pkt = slot.pkt
-            if pkt is not None and pkt.route_cache(self.id) is None:
-                self.moves(pkt, slot)
-        super().step(now)
+    def warm_routes(self) -> None:
+        memo = self._mv_memo
+        mesh, rid = self.mesh, self.id
+        n_vcs = self.cfg.n_vcs
+        for vn in range(6):
+            memo[rid * 12 + vn * 2] = LOCAL_MOVE
+            memo[rid * 12 + vn * 2 + 1] = LOCAL_MOVE
+        for dst in range(mesh.n_routers):
+            if dst == rid:
+                continue
+            wf = route_west_first(mesh, rid, dst)
+            ad = route_adaptive(mesh, rid, dst)
+            base = dst * 12
+            for vn in range(6):
+                esc = vn * n_vcs
+                esc_moves = tuple((o, (esc,)) for o in wf)
+                normal = tuple(range(esc + 1, esc + n_vcs))
+                memo[base + vn * 2] = \
+                    tuple((o, normal) for o in ad) + esc_moves
+                memo[base + vn * 2 + 1] = esc_moves
 
 
 @register

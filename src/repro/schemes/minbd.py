@@ -20,6 +20,8 @@ from repro.schemes.base import Scheme, Table1Row, register
 class MinBDRouter(Router):
     """Deflection router with a one-packet side buffer."""
 
+    __slots__ = ("side",)
+
     def __init__(self, rid, mesh, cfg, net):
         super().__init__(rid, mesh, cfg, net)
         self.side = VCSlot(port=-1, vc=0)
@@ -35,6 +37,8 @@ class MinBDRouter(Router):
             cands.append(self.side)
         if not cands:
             self.occupied = [s for s in self.occupied if s.pkt is not None]
+            if not self.occupied and self.side.pkt is None:
+                self.net.sleep_router(self.id)
             return
         cands.sort(key=lambda s: s.pkt.gen_cycle)
         taken = 0
@@ -50,6 +54,7 @@ class MinBDRouter(Router):
                 if ejected < 2 and ni.can_eject(pkt, now):
                     slot.pkt = None
                     slot.free_at = now + 1
+                    self.net.buffered -= 1
                     ni.eject(pkt, now)
                     ejected += 1
                     moved_any = True
@@ -86,7 +91,7 @@ class MinBDRouter(Router):
             dslot.pkt = pkt
             dslot.ready_at = now + 2
             dslot.free_at = 1 << 60
-            self.neighbors[out].occupied.append(dslot)
+            self.neighbors[out].admit(dslot)
             slot.pkt = None
             slot.free_at = now + pkt.size + 1
             link.busy_until = now + pkt.size
@@ -97,6 +102,8 @@ class MinBDRouter(Router):
             taken |= 1 << out
             moved_any = True
         self.occupied = [s for s in self.occupied if s.pkt is not None]
+        if not self.occupied and self.side.pkt is None:
+            self.net.sleep_router(self.id)
         if moved_any:
             self.net.last_progress = now
 

@@ -47,6 +47,9 @@ class Pitstop(Scheme):
         self._token = 0
         self._busy_until = 0
 
+    def hook_cadence(self, cfg) -> tuple[int, int]:
+        return 0, cfg.pitstop_token_cycles
+
     def post_cycle(self, net, now: int) -> None:
         cfg = net.cfg
         if now % cfg.pitstop_token_cycles:
@@ -62,6 +65,7 @@ class Pitstop(Scheme):
         if slot is not None:
             slot.pkt = None
             slot.free_at = now + pkt.size + 1
+            net.buffered -= 1
         dist = net.mesh.hops(router.id, pkt.dst)
         eta = now + dist + pkt.size + BYPASS_OVERHEAD
         self._busy_until = eta
@@ -82,6 +86,8 @@ class Pitstop(Scheme):
         for q in ni.inj:
             if q and now - q[0].gen_cycle >= BLOCK_THRESHOLD:
                 pkt = q.popleft()
+                ni.inj_count -= 1
+                net.inj_total -= 1
                 pkt.net_entry = now
                 net.stats.injected += 1
                 return None, pkt

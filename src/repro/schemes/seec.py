@@ -39,6 +39,7 @@ class SEEC(Scheme):
     routing = "adaptive"
     n_vns = 1
     n_vcs = 2
+    post_cycle_every = SEEK_INTERVAL
 
     table1 = Table1Row(
         no_detection=True,
@@ -67,7 +68,7 @@ class SEEC(Scheme):
     def post_cycle(self, net, now: int) -> None:
         if now % SEEK_INTERVAL:
             return
-        for router in net.routers:
+        for router in net.active_routers():
             blocked = router.blocked_heads(now, SEEK_THRESHOLD)
             if not blocked:
                 continue
@@ -101,6 +102,7 @@ class SEEC(Scheme):
             return
         slot.pkt = None
         slot.free_at = depart + pkt.size
+        net.buffered -= 1
         pkt.was_fastpass = True
         if pkt.fp_upgrade < 0:
             pkt.fp_upgrade = depart

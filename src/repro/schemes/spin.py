@@ -29,6 +29,7 @@ class SPIN(Scheme):
     #: continuously in hardware — scanning every few cycles is equivalent
     #: at far lower simulation cost.
     CHECK_INTERVAL = 16
+    post_cycle_every = CHECK_INTERVAL
 
     table1 = Table1Row(
         no_detection=False,
@@ -65,7 +66,7 @@ class SPIN(Scheme):
         # attributes to SPIN — it only costs anything when congestion has
         # already produced long-blocked heads.
         frozen = 0
-        for router in net.routers:
+        for router in net.active_routers():
             if router.blocked_heads(now, threshold):
                 until = now + self.PROBE_FREEZE
                 for p in range(router.n_ports):
@@ -85,6 +86,9 @@ class SPIN(Scheme):
     # ------------------------------------------------------------------
     def _spin(self, now: int, cyc) -> None:
         """Synchronously rotate the packets of ``cyc`` one hop forward."""
+        routers = self._net.routers
+        for rid, _slot in cyc:
+            routers[rid].disturb()     # rotation rewrites parked slots
         slots = [slot for (_rid, slot) in cyc]
         pkts = [s.pkt for s in slots]
         if any(p is None for p in pkts):

@@ -42,10 +42,13 @@ class SWAP(Scheme):
     def build(self, net) -> None:
         self.swaps = 0
 
+    def hook_cadence(self, cfg) -> tuple[int, int]:
+        return 0, cfg.swap_duty_cycles
+
     def post_cycle(self, net, now: int) -> None:
         if now == 0 or now % net.cfg.swap_duty_cycles:
             return
-        for router in net.routers:
+        for router in net.active_routers():
             blocked = router.blocked_heads(now, BLOCK_THRESHOLD)
             if not blocked:
                 continue
@@ -95,7 +98,7 @@ class SWAP(Scheme):
         dslot.pkt = pkt
         dslot.ready_at = now + 2
         dslot.free_at = 1 << 60
-        nbr.occupied.append(dslot)
+        nbr.admit(dslot)
         slot.pkt = None
         slot.free_at = now + pkt.size + 1
         pkt.hops += 1
@@ -103,6 +106,7 @@ class SWAP(Scheme):
 
     @staticmethod
     def _swap(router, slot, nbr, dslot, now: int) -> None:
+        nbr.disturb()      # the exchange rewrites a slot nbr may be parked on
         a, b = slot.pkt, dslot.pkt
         dslot.pkt = a
         dslot.ready_at = now + 2

@@ -19,6 +19,8 @@ from repro.schemes.base import Scheme, Table1Row, register
 class TFCRouter(Router):
     """Credit-based router with opportunistic token bypass."""
 
+    __slots__ = ()
+
     def _transfer(self, slot, pkt, link, dslot, now: int) -> None:
         super()._transfer(slot, pkt, link, dslot, now)
         # Token bypass: express the hop when the downstream input port is

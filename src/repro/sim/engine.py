@@ -50,12 +50,19 @@ class Simulation:
         stats.measure_start, stats.measure_end = t0, t1
 
         net.run(t1)
-        # Drain: give measured packets a chance to arrive.
+        # Drain: give measured packets a chance to arrive.  Stops early
+        # once the network holds nothing at all — any still-undelivered
+        # measured packet must then be a dropped request waiting in limbo
+        # for MSHR regeneration, which total_backlog() excludes.
         deadline = net.cycle + cfg.drain_cycles
+        step = net.step
+        watchdog = net.watchdog
+        measured_generated = self.traffic.measured_generated
         while (net.cycle < deadline
-               and stats.ejected_measured < self.traffic.measured_generated
-               and not net.watchdog.deadlocked):
-            net.step()
+               and stats.ejected_measured < measured_generated
+               and not watchdog.deadlocked
+               and net.total_backlog() + net.limbo > 0):
+            step()
         return self._result()
 
     def run_to_completion(self, max_cycles: int) -> RunResult:

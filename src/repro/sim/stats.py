@@ -32,6 +32,13 @@ def percentile(sorted_vals, q: float) -> float:
 class StatsCollector:
     """Per-run counters and latency samples."""
 
+    __slots__ = ("injected", "ejected_total", "ejected_measured", "dropped",
+                 "fastpass_delivered", "regular_delivered", "latencies",
+                 "reg_latencies", "fp_buffered", "fp_bufferless",
+                 "degraded_delivered", "degraded_latencies",
+                 "measure_start", "measure_end", "per_class_ejected",
+                 "on_ejected", "_sorted_lat")
+
     def __init__(self):
         self.injected = 0
         self.ejected_total = 0
@@ -50,9 +57,18 @@ class StatsCollector:
         self.measure_start = 0
         self.measure_end = 1 << 60
         self.per_class_ejected = [0] * 6
+        #: observer hook: called with each ejected packet (tracers, test
+        #: spies).  A hook slot rather than monkeypatching, since the
+        #: collector uses ``__slots__``.
+        self.on_ejected = None
+        #: cached ``sorted(latencies)`` (invalidated by length change —
+        #: samples are append-only)
+        self._sorted_lat: list[int] | None = None
 
     # ------------------------------------------------------------------
     def record_ejected(self, pkt) -> None:
+        if self.on_ejected is not None:
+            self.on_ejected(pkt)
         self.ejected_total += 1
         self.per_class_ejected[pkt.mclass] += 1
         if pkt.was_fastpass:
@@ -76,15 +92,32 @@ class StatsCollector:
             self.reg_latencies.append(lat)
 
     # -- summaries -------------------------------------------------------
+    def _sorted_latencies(self) -> list:
+        """The latency samples in ascending order, cached between calls.
+
+        Samples are append-only, so a length check is a sufficient
+        invalidation test — repeated percentile queries (mid-run progress
+        reports, multi-quantile tables) re-sort only when new samples
+        arrived."""
+        cached = self._sorted_lat
+        if cached is None or len(cached) != len(self.latencies):
+            cached = self._sorted_lat = sorted(self.latencies)
+        return cached
+
     def avg_latency(self) -> float:
         if not self.latencies:
             return float("nan")
         return sum(self.latencies) / len(self.latencies)
 
     def p99_latency(self) -> float:
-        return percentile(sorted(self.latencies), 99.0)
+        return percentile(self._sorted_latencies(), 99.0)
 
     def mean(self, vals) -> float:
+        if not vals:
+            return float("nan")
+        s = sum(vals)
+        if s == s:  # no NaN present — the common all-int case, no copy
+            return s / len(vals)
         vals = [v for v in vals if v == v]
         return sum(vals) / len(vals) if vals else float("nan")
 

@@ -58,15 +58,13 @@ class PacketTracer:
     def _install(self, net) -> None:
         tracer = self
 
-        stats = net.stats
-        orig_record = stats.record_ejected
-
-        def record_ejected(pkt):
+        def on_ejected(pkt):
             tracer.record(pkt.pid, pkt.eject_cycle, "ejected",
                           f"dst={pkt.dst} fastpass={pkt.was_fastpass}")
-            orig_record(pkt)
 
-        stats.record_ejected = record_ejected
+        # The collector's observer slot (it uses __slots__, so its methods
+        # cannot be monkeypatched per instance).
+        net.stats.on_ejected = on_ejected
 
         for ni in net.nis:
             self._install_ni(ni)

@@ -135,6 +135,20 @@ def make_network(cfg: SimConfig, routing: str = "xy",
     return Network(cfg, mesh, ROUTERS[routing])
 
 
+def park(net: Network, router, slot, pkt: Packet, ready_at: int = 0) -> None:
+    """Hand-place ``pkt`` into ``slot`` with full engine bookkeeping.
+
+    Tests that build network states by hand must keep the occupied list,
+    the active set, and the ``buffered`` counter consistent — otherwise
+    the active-set engine never steps the router and the paranoia audit
+    (rightly) reports corruption."""
+    slot.pkt = pkt
+    slot.ready_at = ready_at
+    slot.free_at = 1 << 60
+    router.admit(slot)
+    net.buffered += 1
+
+
 def drain_packet(net: Network, pkt: Packet, max_cycles: int = 5000) -> bool:
     """Step the network until ``pkt`` is ejected (or give up)."""
     for _ in range(max_cycles):

@@ -92,13 +92,7 @@ class TestHopCounts:
                              SyntheticTraffic("uniform", 0.03, seed=9))
             net = sim.net
             seen = []
-            orig = net.stats.record_ejected
-
-            def spy(pkt, _orig=orig, _seen=seen):
-                _seen.append(pkt)
-                _orig(pkt)
-
-            net.stats.record_ejected = spy
+            net.stats.on_ejected = seen.append
             sim.run()
             assert seen, name
             for pkt in seen:
@@ -110,13 +104,11 @@ class TestHopCounts:
                          SyntheticTraffic("transpose", 0.25, seed=9))
         net = sim.net
         over = []
-        orig = net.stats.record_ejected
 
         def spy(pkt):
             if pkt.hops > net.mesh.hops(pkt.src, pkt.dst):
                 over.append(pkt)
-            orig(pkt)
 
-        net.stats.record_ejected = spy
+        net.stats.on_ejected = spy
         sim.run()
         assert over          # deflections misroute under contention

@@ -1,0 +1,77 @@
+"""Differential proof that the active-set engine is bit-identical to the
+naive all-components sweep.
+
+Every scheme runs the same seeded workload twice — once through the
+active-set fast path (the default) and once with ``force_naive_step``
+pinned on — and the two :class:`~repro.config.RunResult` objects must
+agree on every field.  The paranoia audit stays on throughout, so the
+incremental occupancy counters are also cross-checked against a full
+rescan while both engines run.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme, scheme_names
+from repro.sim.engine import Simulation
+from repro.traffic.synthetic import SyntheticTraffic
+
+SCHEMES = sorted(scheme_names())
+
+
+def _cfg():
+    return SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=300,
+                     drain_cycles=1200, fastpass_slot_cycles=64,
+                     paranoia=50)
+
+
+def _run(name, pattern, rate, seed, naive):
+    sim = Simulation(_cfg(), get_scheme(name),
+                     SyntheticTraffic(pattern, rate, seed=seed))
+    sim.net.force_naive_step = naive
+    return sim.run()
+
+
+def _same(a, b):
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+def assert_results_equal(fast, slow, label):
+    for f in dataclasses.fields(fast):
+        va, vb = getattr(fast, f.name), getattr(slow, f.name)
+        assert _same(va, vb), \
+            f"{label}: field {f.name!r} differs: active={va!r} naive={vb!r}"
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+@pytest.mark.parametrize("pattern,rate", [("uniform", 0.08),
+                                          ("transpose", 0.06)])
+@pytest.mark.parametrize("seed", [3, 11])
+def test_active_matches_naive(name, pattern, rate, seed):
+    fast = _run(name, pattern, rate, seed, naive=False)
+    slow = _run(name, pattern, rate, seed, naive=True)
+    assert_results_equal(fast, slow, f"{name}/{pattern}@{rate} seed={seed}")
+    assert fast.ejected > 0
+
+
+def test_naive_flag_actually_switches_paths(monkeypatch):
+    """Guard against the differential test silently comparing the fast
+    path with itself."""
+    from repro.network.network import Network
+
+    calls = []
+    orig = Network._step_naive
+
+    def spy(self):
+        calls.append(True)
+        orig(self)
+
+    monkeypatch.setattr(Network, "_step_naive", spy)
+    _run("baseline", "uniform", 0.05, 3, naive=True)
+    assert calls

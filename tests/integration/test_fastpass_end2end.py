@@ -57,6 +57,7 @@ class TestLemma2:
         slot = r0.slots[1][0]
         slot.pkt, slot.ready_at = pkt, 0
         r0.occupied.append(slot)
+        net.buffered += 1      # hand-placed: keep the O(1) counters honest
         blocker = Packet(0, 15, MessageClass.REQUEST, 0)
         for out in (1, 2):
             nbr = r0.neighbors[out]

@@ -5,7 +5,7 @@ import pytest
 
 from repro.network.packet import MessageClass, Packet
 from repro.schemes import get_scheme
-from tests.conftest import make_network
+from tests.conftest import make_network, park
 
 
 @pytest.fixture
@@ -16,9 +16,18 @@ def fp_net(small_cfg):
 def put_in_slot(net, rid, port, vc, pkt):
     r = net.routers[rid]
     slot = r.slots[port][vc]
-    slot.pkt, slot.ready_at, slot.free_at = pkt, 0, 1 << 60
-    r.occupied.append(slot)
+    park(net, r, slot, pkt)
     return slot
+
+
+def put_in_inj(net, rid, pkt):
+    """Queue ``pkt`` at an NI with the engine bookkeeping a real source
+    would have done."""
+    ni = net.nis[rid]
+    ni.inj[pkt.mclass].append(pkt)
+    ni.inj_count += 1
+    net.inj_total += 1
+    net.wake_inject(rid)
 
 
 class TestEligibility:
@@ -46,9 +55,8 @@ class TestEligibility:
 class TestUpgrading:
     def test_upgrades_eligible_injection_packet(self, fp_net):
         # prime 0, slot 0 targets partition 0: router 12 is in column 0
-        ni = fp_net.nis[0]
         pkt = Packet(0, 12, MessageClass.REQUEST, 0)
-        ni.inj[MessageClass.REQUEST].append(pkt)
+        put_in_inj(fp_net, 0, pkt)
         fp_net.step()
         assert pkt.was_fastpass
         assert fp_net.fastpass.upgrades == 1
@@ -92,11 +100,10 @@ class TestUpgrading:
         assert slot.free_at == 1 << 60      # upstream credit withheld
 
     def test_lane_serialization_between_launches(self, fp_net):
-        ni = fp_net.nis[0]
         a = Packet(0, 12, MessageClass.RESPONSE, 0)
         b = Packet(0, 8, MessageClass.REQUEST, 0)
-        ni.inj[MessageClass.RESPONSE].append(a)
-        ni.inj[MessageClass.REQUEST].append(b)
+        put_in_inj(fp_net, 0, a)
+        put_in_inj(fp_net, 0, b)
         fp_net.fastpass.step(0)
         assert fp_net.fastpass.upgrades == 1
         # next launch only after the first tail clears the lane head
@@ -111,7 +118,7 @@ class TestUpgrading:
             dst_row = 3 if prime // 4 != 3 else 0
             dst = dst_row * 4 + c
             pkt = Packet(prime, dst, MessageClass.REQUEST, 0)
-            fp_net.nis[prime].inj[MessageClass.REQUEST].append(pkt)
+            put_in_inj(fp_net, prime, pkt)
             pkts.append(pkt)
         fp_net.fastpass.step(0)
         assert all(p.was_fastpass for p in pkts)

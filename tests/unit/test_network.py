@@ -4,7 +4,7 @@ import pytest
 
 from repro.network.packet import MessageClass, Packet
 from repro.network.watchdog import Watchdog, find_blocked_cycle
-from tests.conftest import inject_now, make_network
+from tests.conftest import inject_now, make_network, park
 
 
 @pytest.fixture
@@ -88,9 +88,7 @@ class TestWatchdog:
                            routing="adaptive")
         r = net.routers[0]
         pkt = Packet(0, 5, MessageClass.REQUEST, 0)
-        slot = r.slots[1][0]
-        slot.pkt, slot.ready_at = pkt, 0
-        r.occupied.append(slot)
+        park(net, r, r.slots[1][0], pkt)
         blocker = Packet(0, 5, MessageClass.REQUEST, 0)
         r1 = net.routers[1]
         for vc in r1.vn_vcs(0):
@@ -132,9 +130,7 @@ class TestWaitForGraph:
         for rid, port, dst in placements:
             r = net.routers[rid]
             pkt = Packet(rid, dst, MessageClass.REQUEST, 0)
-            slot = r.slots[port][0]
-            slot.pkt, slot.ready_at = pkt, 0
-            r.occupied.append(slot)
+            park(net, r, r.slots[port][0], pkt)
         cyc = find_blocked_cycle(net, now=10, min_blocked=1)
         assert cyc is not None
         assert len(cyc) == 4

@@ -1,0 +1,114 @@
+"""Unit tests for the perf-regression harness (snapshot files + gate)."""
+
+import json
+
+import pytest
+
+from repro.experiments import perf
+
+
+def _point(key, cps, **overrides):
+    pt = {"key": key, "cycles_per_sec": cps, "cycles": 2700,
+          "injected": 100, "ejected": 100, "avg_latency": 12.5,
+          "p99_latency": 30.0, "deadlocked": False}
+    pt.update(overrides)
+    return pt
+
+
+def _snap(points):
+    return {"kind": "repro-perf-snapshot", "points": points}
+
+
+class TestPointKey:
+    def test_stable_and_readable(self):
+        key = perf.point_key("fastpass", {"n_vcs": 4}, "uniform", 0.02)
+        assert key == "fastpass(n_vcs=4)/uniform@0.02"
+
+    def test_kwargs_sorted(self):
+        a = perf.point_key("x", {"b": 1, "a": 2}, "uniform", 0.1)
+        b = perf.point_key("x", {"a": 2, "b": 1}, "uniform", 0.1)
+        assert a == b
+
+
+class TestSnapshotFiles:
+    def test_next_path_starts_at_one(self, tmp_path):
+        assert perf.next_snapshot_path(tmp_path).name == "BENCH_1.json"
+
+    def test_next_path_fills_gaps(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_3.json").write_text("{}")
+        assert perf.next_snapshot_path(tmp_path).name == "BENCH_2.json"
+
+    def test_non_numeric_stems_ignored(self, tmp_path):
+        (tmp_path / "BENCH_baseline.json").write_text("{}")
+        assert perf.next_snapshot_path(tmp_path).name == "BENCH_1.json"
+
+    def test_write_snapshot_explicit_out(self, tmp_path):
+        out = tmp_path / "sub" / "snap.json"
+        path = perf.write_snapshot({"a": 1}, str(out))
+        assert path == out
+        assert json.loads(out.read_text()) == {"a": 1}
+
+
+class TestCompareGate:
+    def test_pass_when_fast_enough(self, capsys):
+        new = _snap([_point("p", 2000.0)])
+        base = _snap([_point("p", 1000.0)])
+        assert perf.compare(new, base, fail_under=0.75) == 0
+
+    def test_fails_on_regression(self, capsys):
+        new = _snap([_point("p", 700.0)])
+        base = _snap([_point("p", 1000.0)])
+        assert perf.compare(new, base, fail_under=0.75) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_worst_point_gates(self, capsys):
+        new = _snap([_point("a", 3000.0), _point("b", 500.0)])
+        base = _snap([_point("a", 1000.0), _point("b", 1000.0)])
+        assert perf.compare(new, base, fail_under=0.75) == 1
+
+    def test_new_points_do_not_gate(self, capsys):
+        new = _snap([_point("old", 1000.0), _point("brand-new", 1.0)])
+        base = _snap([_point("old", 1000.0)])
+        assert perf.compare(new, base, fail_under=0.75) == 0
+
+    def test_result_drift_is_an_error(self, capsys):
+        new = _snap([_point("p", 1000.0, ejected=99)])
+        base = _snap([_point("p", 1000.0, ejected=100)])
+        assert perf.compare(new, base, fail_under=0.75) == 2
+        assert "RESULT DRIFT" in capsys.readouterr().out
+
+    def test_result_drift_waivable(self, capsys):
+        new = _snap([_point("p", 1000.0, ejected=99)])
+        base = _snap([_point("p", 1000.0, ejected=100)])
+        assert perf.compare(new, base, fail_under=0.75,
+                            allow_result_drift=True) == 0
+
+    def test_drift_and_regression_reports_drift_code(self, capsys):
+        new = _snap([_point("p", 100.0, ejected=99)])
+        base = _snap([_point("p", 1000.0, ejected=100)])
+        assert perf.compare(new, base, fail_under=0.75) == 2
+
+    def test_nan_latency_is_not_drift(self, capsys):
+        nan = float("nan")
+        new = _snap([_point("p", 1000.0, avg_latency=nan)])
+        base = _snap([_point("p", 1000.0, avg_latency=nan)])
+        assert perf.compare(new, base, fail_under=0.75) == 0
+
+
+class TestCLI:
+    def test_cli_wiring(self, tmp_path, monkeypatch):
+        """End-to-end through the experiments CLI with a stubbed sweep."""
+        from repro.experiments import cli
+
+        fake = _snap([_point("p", 1000.0)])
+        fake.update(label=None, total_wall_s=0.1)
+        monkeypatch.setattr(perf, "run_snapshot",
+                            lambda repeat=1, label=None: fake)
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(_snap([_point("p", 1000.0)])))
+        out = tmp_path / "new.json"
+        rc = cli.main(["perf", "snapshot", "--out", str(out),
+                       "--compare", str(base)])
+        assert rc == 0
+        assert out.exists()

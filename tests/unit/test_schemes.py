@@ -9,7 +9,7 @@ from repro.schemes.base import Scheme
 from repro.schemes.escapevc import EscapeVCRouter
 from repro.sim.engine import Simulation, build_network
 from repro.traffic.synthetic import SyntheticTraffic
-from tests.conftest import inject_now, make_network
+from tests.conftest import inject_now, make_network, park
 
 
 class TestRegistry:
@@ -116,9 +116,7 @@ class TestSPIN:
         for rid, port, dst in placements:
             r = net.routers[rid]
             pkt = Packet(rid, dst, MessageClass.REQUEST, 0)
-            slot = r.slots[port][0]
-            slot.pkt, slot.ready_at = pkt, 0
-            r.occupied.append(slot)
+            park(net, r, r.slots[port][0], pkt)
             pkts.append(pkt)
         hops_before = [p.hops for p in pkts]
         for _ in range(200):
@@ -140,8 +138,7 @@ class TestSWAP:
         r0, r1 = net.routers[0], net.routers[1]
         pkt = Packet(0, 3, MessageClass.REQUEST, 0)
         slot = r0.slots[1][0]
-        slot.pkt, slot.ready_at = pkt, 0
-        r0.occupied.append(slot)
+        park(net, r0, slot, pkt)
         blocker = Packet(1, 2, MessageClass.REQUEST, 0)
         for vc in r1.vn_vcs(0):
             s = r1.slots[4][vc]
@@ -195,8 +192,7 @@ class TestPitstop:
         r0, r1 = net.routers[0], net.routers[1]
         pkt = Packet(0, 3, MessageClass.REQUEST, 0)
         slot = r0.slots[1][0]
-        slot.pkt, slot.ready_at = pkt, 0
-        r0.occupied.append(slot)
+        park(net, r0, slot, pkt)
         blocker = Packet(1, 2, MessageClass.REQUEST, 0)
         for vc in r1.vn_vcs(0):
             s = r1.slots[4][vc]
@@ -213,8 +209,7 @@ class TestPitstop:
         pkt = Packet(0, 3, MessageClass.REQUEST, 0)
         r0 = net.routers[0]
         slot = r0.slots[1][0]
-        slot.pkt, slot.ready_at = pkt, 0
-        r0.occupied.append(slot)
+        park(net, r0, slot, pkt)
         blocker = Packet(1, 2, MessageClass.REQUEST, 0)
         r1 = net.routers[1]
         for vc in r1.vn_vcs(0):

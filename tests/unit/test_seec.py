@@ -7,7 +7,7 @@ from repro.network.packet import MessageClass, Packet
 from repro.schemes import get_scheme
 from repro.sim.engine import Simulation
 from repro.traffic.synthetic import SyntheticTraffic
-from tests.conftest import make_network
+from tests.conftest import make_network, park
 
 
 def seec_net(small_cfg):
@@ -34,9 +34,7 @@ class TestSeeking:
         """Park a packet at ``rid`` with all its productive VCs wedged."""
         router = net.routers[rid]
         pkt = Packet(rid, dst, MessageClass.REQUEST, 0)
-        slot = router.slots[1][0]
-        slot.pkt, slot.ready_at = pkt, 0
-        router.occupied.append(slot)
+        park(net, router, router.slots[1][0], pkt)
         blocker = Packet(1, 2, MessageClass.REQUEST, 0)
         nbr = router.neighbors[2]          # East toward dst
         link = router.links_out[2]
@@ -96,9 +94,7 @@ class TestComparisonWithFastPass:
             net = make_network(small_cfg, scheme=get_scheme(name, **kw))
             router = net.routers[0]
             pkt = Packet(0, 12, MessageClass.REQUEST, 0)  # column 0
-            slot = router.slots[2][0]
-            slot.pkt, slot.ready_at = pkt, 0
-            router.occupied.append(slot)
+            park(net, router, router.slots[2][0], pkt)
             blocker = Packet(1, 2, MessageClass.REQUEST, 0)
             nbr = router.neighbors[1]      # North toward 12
             link = router.links_out[1]

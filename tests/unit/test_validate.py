@@ -7,7 +7,7 @@ from repro.network.validate import InvariantViolation, check_invariants
 from repro.schemes import get_scheme
 from repro.sim.engine import Simulation
 from repro.traffic.synthetic import SyntheticTraffic
-from tests.conftest import make_network
+from tests.conftest import make_network, park
 
 
 class TestCleanStates:
@@ -45,9 +45,7 @@ class TestCorruptionDetected:
         pkt = Packet(0, 5, MessageClass.REQUEST, 0)
         for rid in (0, 1):
             r = net.routers[rid]
-            slot = r.slots[1][0]
-            slot.pkt = pkt
-            r.occupied.append(slot)
+            park(net, r, r.slots[1][0], pkt)
         with pytest.raises(InvariantViolation, match="two slots"):
             check_invariants(net)
 
@@ -72,9 +70,11 @@ class TestCorruptionDetected:
         net = make_network(small_cfg)
         pkt = Packet(0, 5, MessageClass.REQUEST, 0)
         r = net.routers[0]
-        slot = r.slots[1][0]
-        slot.pkt = pkt
-        r.occupied.append(slot)
-        net.nis[2].inj[MessageClass.REQUEST].append(pkt)
+        park(net, r, r.slots[1][0], pkt)
+        ni = net.nis[2]
+        ni.inj[MessageClass.REQUEST].append(pkt)
+        ni.inj_count += 1
+        net.inj_total += 1
+        net.wake_inject(ni.id)
         with pytest.raises(InvariantViolation, match="both buffered"):
             check_invariants(net)

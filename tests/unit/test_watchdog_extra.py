@@ -9,7 +9,7 @@ from repro.network.packet import Packet
 from repro.network.topology import PORT_E
 from repro.network.watchdog import Watchdog, WatchdogReport
 
-from tests.conftest import make_network
+from tests.conftest import make_network, park
 
 
 def _park(net, rid=5, dst=6, wedge=False):
@@ -17,10 +17,7 @@ def _park(net, rid=5, dst=6, wedge=False):
     link (XY toward ``dst``) is jammed so it can never move."""
     router = net.routers[rid]
     pkt = Packet(rid, dst, 0, 0)
-    slot = router.slots[0][0]
-    slot.pkt = pkt
-    slot.ready_at = 0
-    router.occupied.append(slot)
+    park(net, router, router.slots[0][0], pkt)
     if wedge:
         router.links_out[PORT_E].busy_until = 1 << 60
     return pkt
