@@ -62,9 +62,16 @@ def execute_point(point: Point, cfg: SimConfig) -> RunResult:
     if token:
         from repro.fault.plan import FaultPlan
         cfg = cfg.with_(fault_plan=FaultPlan.from_token(token))
+    # Observability is opt-in per point (meta) or fleet-wide via the
+    # REPRO_METRICS env var (N > 0 attaches metrics and samples the gauge
+    # time series every N cycles).
+    metrics = meta.get("metrics")
+    if metrics is None:
+        metrics = int(os.environ.get("REPRO_METRICS", "0") or 0)
     return run_point(scheme, pattern, point.rate, cfg,
                      seed=meta.get("seed"),
-                     traffic_stop=meta.get("traffic_stop"))
+                     traffic_stop=meta.get("traffic_stop"),
+                     metrics=metrics)
 
 
 def failed_result(point: Point, error: str) -> RunResult:

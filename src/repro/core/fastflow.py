@@ -88,6 +88,9 @@ class FastFlowEngine:
         # Full ejection queue: reserve it and bounce to the prime (Fig. 3).
         queue.reserve(pkt)
         self.bounced += 1
+        obs = net.obs
+        if obs is not None:
+            obs.emit("bounced", now, pkt.pid, dst=pkt.dst, prime=prime)
         path = lanes.return_path(self.mesh, pkt.dst, prime)
         # Returning packets from different rows of the partition can reach
         # the shared corridor at interleaved times; delay the departure to

@@ -39,6 +39,9 @@ class FastPassManager:
         self._slot_end = 0
         self._primes: list[int] = []
         self._tcols: list[int] = []
+        #: last phase seen by the slot-refresh block, for the
+        #: 'prime_rotation' observability event
+        self._last_phase = -1
         self.upgrades = 0
         self.upgrades_from_injection = 0
         #: injection-queue scan order: request queue first (Qn 2 / Qn 6)
@@ -61,6 +64,7 @@ class FastPassManager:
         net = self.net
         if net.inj_total == 0 and net.buffered == 0:
             return      # no packet anywhere: every prime's scan is empty
+        obs = net.obs
         if now >= self._slot_end:
             sched = self.schedule
             info = sched.info(now)
@@ -68,6 +72,16 @@ class FastPassManager:
             self._primes = sched.primes(info.phase)
             self._tcols = [sched.target_partition(c, info.slot)
                            for c in range(sched.P)]
+            if obs is not None:
+                # Lazily attributed: the manager only refreshes the slot
+                # cache when it has work, so slot/rotation events mark the
+                # boundaries the manager *observed*, not every TDM tick.
+                obs.emit("lane_slot", now, slot=info.slot,
+                         phase=info.phase, slot_end=info.slot_end)
+                if info.phase != self._last_phase:
+                    obs.emit("prime_rotation", now, phase=info.phase,
+                             primes=tuple(self._primes))
+            self._last_phase = info.phase
         slot_end = self._slot_end
         primes = self._primes
         tcols = self._tcols
@@ -82,6 +96,9 @@ class FastPassManager:
             pkt, remove = found
             remove()
             self.upgrades += 1
+            if obs is not None:
+                obs.emit("upgraded", now, pkt.pid,
+                         lane=c, prime=prime, dst=pkt.dst)
             lane_free[c] = self.engine.launch_forward(pkt, prime, now)
         self._min_free = min(lane_free)
 
@@ -154,11 +171,18 @@ class FastPassManager:
     def _take_injection(self, ni, q, pkt) -> None:
         q.remove(pkt)
         ni.inj_count -= 1
-        self.net.inj_total -= 1
-        pkt.net_entry = self.net.cycle
+        net = self.net
+        net.inj_total -= 1
+        pkt.net_entry = net.cycle
         pkt.rejected = False
-        self.net.stats.injected += 1
+        net.stats.injected += 1
         self.upgrades_from_injection += 1
+        obs = net.obs
+        if obs is not None:
+            # Mirrors stats.injected: an upgrade straight from the
+            # injection queues counts as the packet's network entry.
+            obs.emit("injected", net.cycle, pkt.pid,
+                     src=ni.id, dst=pkt.dst, vn=pkt.vn)
 
     def _take_slot(self, ni, router, slot, pkt, now: int) -> None:
         router.disturb()           # the upgrade empties (or refills) a slot

@@ -8,6 +8,9 @@ Usage::
     repro-experiments campaign status
     repro-experiments campaign clean --cache
     repro-experiments faults sweep --modes cut --rates 0.05
+    repro-experiments obs report --scheme fastpass --rate 0.1
+    repro-experiments obs export --format prometheus --out metrics.prom
+    repro-experiments perf snapshot --profile
     python -m repro.experiments.cli fig11
 
 Every experiment runs through the campaign layer: each simulation point is
@@ -272,6 +275,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "perf":
         from repro.experiments import perf
         return perf.main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.experiments import obs
+        return obs.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of the FastPass paper "

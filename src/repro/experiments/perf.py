@@ -154,6 +154,39 @@ def write_snapshot(snap: dict, out: str | None) -> Path:
     return path
 
 
+# -- profiling -----------------------------------------------------------
+
+def run_profile(top: int = 30) -> tuple[Path, Path]:
+    """Profile one untimed pass of the micro-sweep with cProfile.
+
+    Writes ``results/perf/profile/snapshot.prof`` (loadable by pstats,
+    snakeviz, flameprof, or any other flamegraph renderer) plus a
+    ``snapshot_top.txt`` with the top-``top`` functions by cumulative
+    time.  Runs *after* the timed snapshot, so the regression gate's
+    numbers never include profiler overhead.
+    """
+    import cProfile
+    import pstats
+    from io import StringIO
+
+    out = perf_dir() / "profile"
+    out.mkdir(parents=True, exist_ok=True)
+    prof = cProfile.Profile()
+    prof.enable()
+    for scheme, kwargs, pattern, rate in SNAPSHOT_POINTS:
+        _run_one(scheme, kwargs, pattern, rate, repeat=1)
+    prof.disable()
+    prof_path = out / "snapshot.prof"
+    prof.dump_stats(prof_path)
+    buf = StringIO()
+    stats = pstats.Stats(prof, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    txt_path = out / "snapshot_top.txt"
+    txt_path.write_text(buf.getvalue())
+    return prof_path, txt_path
+
+
 # -- comparison gate -----------------------------------------------------
 
 def _same(a, b) -> bool:
@@ -233,6 +266,13 @@ def main(argv: list[str]) -> int:
     p_snap.add_argument("--allow-result-drift", action="store_true",
                         help="demote simulation-result mismatches vs the "
                              "baseline from errors to warnings")
+    p_snap.add_argument("--profile", action="store_true",
+                        help="after the timed runs, cProfile one extra "
+                             "pass of the sweep into results/perf/"
+                             "profile/ (.prof + top-N text)")
+    p_snap.add_argument("--profile-top", type=int, default=30,
+                        metavar="N", help="functions to keep in the "
+                                          "profile text summary")
     args = parser.parse_args(argv)
 
     print("perf snapshot: "
@@ -240,6 +280,10 @@ def main(argv: list[str]) -> int:
     snap = run_snapshot(repeat=args.repeat, label=args.label)
     path = write_snapshot(snap, args.out)
     print(f"  snapshot written to {path}")
+    if args.profile:
+        prof_path, txt_path = run_profile(top=args.profile_top)
+        print(f"  profile written to {prof_path} "
+              f"(summary: {txt_path})")
     if not args.compare:
         return 0
     base = json.loads(Path(args.compare).read_text())

@@ -134,11 +134,15 @@ class FaultInjector:
         top of every cycle, before the scheme hooks."""
         recovered = self._recoveries.pop(now, None)
         if recovered:
+            obs = self.net.obs
             for rid, port in recovered:
                 self.dead_links.discard((rid, port))
                 link = self.net.routers[rid].links_out[port]
                 if link is not None and link.busy_until >= FOREVER:
                     link.busy_until = now
+                if obs is not None:
+                    obs.emit("fault", now, kind="recovered",
+                             router=rid, port=port)
             self._topology_changed(now)
         queue = self._queue
         changed = False
@@ -157,6 +161,10 @@ class FaultInjector:
         """Activate one event; returns True when the live topology
         changed (dead-link set grew)."""
         self.applied[ev.kind] = self.applied.get(ev.kind, 0) + 1
+        obs = self.net.obs
+        if obs is not None:
+            obs.emit("fault", now, kind=ev.kind,
+                     router=ev.router, port=ev.port)
         router = self.net.routers[ev.router]
         kind = ev.kind
         if kind in (LINK_FAIL, LINK_FLAP):

@@ -90,6 +90,57 @@ def postmortem_payload(net, now: int, reason: str = "watchdog") -> dict:
     return payload
 
 
+#: required top-level keys of a post-mortem payload and their types
+#: (a tuple means "any of these").  ``liveness``/``liveness_violations``
+#: appear only when an auditor was installed, so they are not required.
+POSTMORTEM_SCHEMA = {
+    "reason": str,
+    "cycle": int,
+    "scheme": str,
+    "mesh": list,
+    "seed": int,
+    "last_progress": int,
+    "watchdog_fired_at": int,
+    "packets_in_flight": int,
+    "total_backlog": int,
+    "in_transit": int,
+    "wait_for_cycle": (list, type(None)),
+    "vc_occupancy": list,
+    "ni_queues": list,
+    "faults": (dict, type(None)),
+}
+
+
+def validate_postmortem(payload: dict) -> dict:
+    """Check a post-mortem dict (or one re-read from JSON) against
+    :data:`POSTMORTEM_SCHEMA`; returns the payload for chaining, raises
+    ``ValueError`` listing every problem otherwise."""
+    problems = []
+    for key, types in POSTMORTEM_SCHEMA.items():
+        if key not in payload:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(payload[key], types):
+            problems.append(
+                f"{key!r} has type {type(payload[key]).__name__}, "
+                f"expected {types}")
+    if not problems:
+        mesh = payload["mesh"]
+        if len(mesh) != 2 or not all(isinstance(v, int) for v in mesh):
+            problems.append(f"mesh must be [rows, cols], got {mesh!r}")
+        for entry in payload["vc_occupancy"]:
+            for want in ("router", "occupied", "slots"):
+                if want not in entry:
+                    problems.append(f"vc_occupancy entry missing {want!r}")
+        for entry in payload["ni_queues"]:
+            for want in ("router", "pending", "inj", "ej"):
+                if want not in entry:
+                    problems.append(f"ni_queues entry missing {want!r}")
+    if problems:
+        raise ValueError("invalid post-mortem payload: "
+                         + "; ".join(problems))
+    return payload
+
+
 def diagnostics_dir() -> Path:
     """``<results>/diagnostics``, honouring ``REPRO_RESULTS_DIR``."""
     root = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))

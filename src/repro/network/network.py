@@ -137,6 +137,10 @@ class Network:
         self.fault_exposed = False
         #: path of the post-mortem written by the watchdog hook, if any
         self.postmortem_path = None
+        #: Observability bundle (repro.obs) or None.  Every datapath emit
+        #: point is guarded by one `is not None` test on this attribute,
+        #: which is the whole cost of the subsystem when detached.
+        self.obs = None
         if cfg.fault_plan:
             from repro.fault.injector import FaultInjector
             self.faults = FaultInjector(self, cfg.fault_plan)
@@ -280,6 +284,11 @@ class Network:
         self._step_tail(now)
 
     def _step_tail(self, now: int) -> None:
+        obs = self.obs
+        if obs is not None:
+            se = obs.sample_every
+            if se and now % se == 0:
+                obs.sampler.sample(now)
         auditor = self.auditor
         if auditor is not None and now and now % auditor.interval == 0:
             auditor.check(now)

@@ -64,8 +64,9 @@ class NetworkInterface:
     * ``inj`` holds one bounded queue per message class;
     * ``ej`` holds one bounded queue per message class.
 
-    (No ``__slots__`` here on purpose: the trace layer and several tests
-    monkeypatch NI methods per instance, which needs a ``__dict__``.)
+    (No ``__slots__`` here on purpose: several tests monkeypatch NI
+    methods per instance, which needs a ``__dict__``.  The trace layer
+    used to as well; it now subscribes to the event bus instead.)
     """
 
     def __init__(self, rid: int, cfg, net):
@@ -105,19 +106,29 @@ class NetworkInterface:
     # -- generation ------------------------------------------------------
     def source(self, pkt) -> None:
         """Accept a freshly generated packet from the traffic source."""
-        if self.net.fault_exposed:
+        net = self.net
+        if net.fault_exposed:
             pkt.fault_exposed = True
+        obs = net.obs
+        if obs is not None:
+            obs.emit("generated", pkt.gen_cycle, pkt.pid,
+                     src=self.id, dst=pkt.dst, mclass=pkt.mclass)
         if pkt.dst == self.id:
             # Local delivery never enters the network, but the attached
             # processor/LLC model must still see the message.
             pkt.eject_cycle = pkt.gen_cycle + 1
-            self.net.stats.record_ejected(pkt)
+            net.stats.record_ejected(pkt)
+            if obs is not None:
+                obs.emit("ejected", pkt.eject_cycle, pkt.pid,
+                         dst=self.id, fastpass=pkt.was_fastpass,
+                         measured=pkt.measured,
+                         latency=pkt.eject_cycle - pkt.gen_cycle)
             if self._consumer is not None:
                 self._consumer.on_local(self, pkt)
             return
         self.pending.append(pkt)
-        self.net.pending_total += 1
-        self.net.wake_inject(self.id)
+        net.pending_total += 1
+        net.wake_inject(self.id)
 
     # -- injection -------------------------------------------------------
     def inject_step(self, now: int) -> None:
@@ -182,6 +193,10 @@ class NetworkInterface:
             self._inj_rr = cls + 1
             net.last_progress = now
             net.stats.injected += 1
+            obs = net.obs
+            if obs is not None:
+                obs.emit("injected", now, pkt.pid,
+                         src=self.id, dst=pkt.dst, vn=pkt.vn)
             break
 
     # -- ejection ----------------------------------------------------------
@@ -191,8 +206,15 @@ class NetworkInterface:
     def eject(self, pkt, now: int) -> None:
         pkt.eject_cycle = now + 1
         self.ej[pkt.mclass].push(pkt)
-        self.net.wake_consume(self.id)
-        self.net.stats.record_ejected(pkt)
+        net = self.net
+        net.wake_consume(self.id)
+        net.stats.record_ejected(pkt)
+        obs = net.obs
+        if obs is not None:
+            obs.emit("ejected", pkt.eject_cycle, pkt.pid,
+                     dst=self.id, fastpass=pkt.was_fastpass,
+                     measured=pkt.measured,
+                     latency=pkt.eject_cycle - pkt.gen_cycle)
 
     #: default ejection-drain bandwidth (packets/node/cycle) when no
     #: processor model is attached.  Finite, so ejection queues can fill
@@ -249,6 +271,10 @@ class NetworkInterface:
                 pkt.drop_count += 1
                 self.net.schedule(now + self.cfg.mshr_regen_cycles,
                                   self._regenerate, pkt)
+                obs = self.net.obs
+                if obs is not None:
+                    obs.emit("dropped", now, pkt.pid,
+                             src=self.id, drop_count=pkt.drop_count)
                 return True
         return False
 
@@ -261,6 +287,9 @@ class NetworkInterface:
         self.net.limbo -= 1
         self.net.pending_total += 1
         self.net.wake_inject(self.id)
+        obs = self.net.obs
+        if obs is not None:
+            obs.emit("regenerated", now, pkt.pid, src=self.id)
 
     def accept_bounced(self, pkt, now: int) -> None:
         """Receive a bounced FastPass-Packet into the request injection
@@ -278,6 +307,10 @@ class NetworkInterface:
         self.inj_count += 1
         self.net.inj_total += 1
         self.net.wake_inject(self.id)
+        obs = self.net.obs
+        if obs is not None:
+            obs.emit("bounce_returned", now, pkt.pid,
+                     prime=self.id, dst=pkt.dst)
 
     # -- introspection ------------------------------------------------------
     def inj_occupancy(self) -> int:

@@ -434,8 +434,8 @@ class Router:
         if self.eject_busy_until > now:
             return False
         # Inlined EjectionQueue.can_accept + NI.eject: ejection rides on
-        # every delivered packet, and no tracer hooks these methods (the
-        # observer hook lives on stats.record_ejected, still called).
+        # every delivered packet, so the queue operations are open-coded;
+        # the 'ejected' event below keeps observability in sync.
         q = self._ni.ej[pkt.mclass]
         res = q.reservations
         if pkt.pid in res:
@@ -456,6 +456,12 @@ class Router:
         net._con_active.add(self.id)
         net.stats.record_ejected(pkt)
         net.last_progress = now
+        obs = net.obs
+        if obs is not None:
+            obs.emit("ejected", now + 1, pkt.pid,
+                     dst=self.id, fastpass=pkt.was_fastpass,
+                     measured=pkt.measured,
+                     latency=now + 1 - pkt.gen_cycle)
         return True
 
     # -- introspection (watchdog, SPIN, SWAP) ------------------------------

@@ -10,17 +10,41 @@ from repro.traffic.synthetic import SyntheticTraffic
 
 def run_point(scheme: Scheme | str, pattern: str, rate: float,
               cfg: SimConfig, seed: int | None = None,
-              traffic_stop: int | None = None) -> RunResult:
-    """One (scheme, pattern, injection-rate) simulation."""
+              traffic_stop: int | None = None,
+              metrics: bool | int = False) -> RunResult:
+    """One (scheme, pattern, injection-rate) simulation.
+
+    ``metrics`` turns on the observability subsystem for this run: True
+    attaches the standard metric set, a positive integer additionally
+    samples the gauge time series every that many cycles.  The snapshot
+    is written under ``results/metrics/`` and its path (plus the headline
+    counters) recorded in ``res.extra["metrics"]`` — results stay
+    bit-identical either way (observability is result-neutral).
+    """
     if isinstance(scheme, str):
         scheme = get_scheme(scheme)
     traffic = SyntheticTraffic(pattern, rate,
                                seed=cfg.seed if seed is None else seed,
                                stop=traffic_stop)
     sim = Simulation(cfg, scheme, traffic)
+    obs = None
+    if metrics:
+        from repro.obs import attach_observability
+        sample_every = 0 if metrics is True else int(metrics)
+        obs = attach_observability(sim.net, sample_every=sample_every)
     res = sim.run()
     res.extra["rate"] = rate
     res.extra["pattern"] = pattern
+    if obs is not None:
+        from repro.obs import write_metrics
+        name = f"{scheme.label}_{pattern}_r{rate:g}"
+        path = write_metrics(obs, name)
+        counters = obs.registry.to_json()["counters"]
+        res.extra["metrics"] = {
+            "path": str(path),
+            "events": obs.bus.emitted,
+            "counters": counters,
+        }
     return res
 
 

@@ -1,11 +1,15 @@
 """Per-packet event tracing.
 
 Attach a :class:`PacketTracer` to a network to record a timeline of what
-happened to each packet — generation, injection, per-hop transfers,
-FastFlow upgrades, bounces, drops, ejection.  Intended for debugging and
-for the examples; the hot simulation paths stay trace-free unless a tracer
-is attached (the hooks monkey-patch the stats collector and NI methods of
-one specific network instance).
+happened to each packet — generation, injection, FastFlow upgrades,
+bounces, drops, regenerations, ejection.  Intended for debugging and for
+the examples.
+
+The tracer is a plain subscriber of the observability event bus
+(:mod:`repro.obs`): it installs no monkey-patches, works identically
+under the active-set engine with inlined transfer/ejection paths, and
+costs nothing unless observability is attached (the datapath's only
+concession is the ``net.obs is None`` test at each emit point).
 """
 
 from __future__ import annotations
@@ -23,13 +27,27 @@ class TraceEvent:
 
 
 class PacketTracer:
-    """Records per-packet timelines for one network."""
+    """Records per-packet timelines for one network.
+
+    Bus-to-trace kind mapping: the bus distinguishes the bounce
+    *decision* at the destination ('bounced') from the bounced packet's
+    *arrival* back at its prime ('bounce_returned'); the tracer records
+    the latter as kind ``bounced``, preserving the historical timeline
+    semantics (the cycle the packet re-entered a request injection
+    queue).
+    """
 
     def __init__(self, net, max_packets: int = 100000):
         self.net = net
         self.max_packets = max_packets
         self.events: dict[int, list[TraceEvent]] = defaultdict(list)
-        self._install(net)
+        obs = net.obs
+        if obs is None:
+            from repro.obs import attach_observability
+            obs = attach_observability(net)
+        self.obs = obs
+        self._subs: list[tuple[str, object]] = []
+        self._install(obs.bus)
 
     # ------------------------------------------------------------------
     def record(self, pid: int, cycle: int, kind: str,
@@ -54,55 +72,33 @@ class PacketTracer:
                 out[ev.kind] += 1
         return dict(out)
 
+    def detach(self) -> None:
+        """Stop recording (the bus subscriptions are removed; any
+        observability bundle the tracer attached stays attached)."""
+        for kind, fn in self._subs:
+            self.obs.bus.unsubscribe(kind, fn)
+        self._subs.clear()
+
     # ------------------------------------------------------------------
-    def _install(self, net) -> None:
-        tracer = self
+    def _install(self, bus) -> None:
+        record = self.record
 
-        def on_ejected(pkt):
-            tracer.record(pkt.pid, pkt.eject_cycle, "ejected",
-                          f"dst={pkt.dst} fastpass={pkt.was_fastpass}")
+        def sub(kind: str, trace_kind: str, fmt) -> None:
+            def fn(cycle, pid, fields, _k=trace_kind, _f=fmt):
+                record(pid, cycle, _k, _f(fields))
+            bus.subscribe(kind, fn)
+            self._subs.append((kind, fn))
 
-        # The collector's observer slot (it uses __slots__, so its methods
-        # cannot be monkeypatched per instance).
-        net.stats.on_ejected = on_ejected
-
-        for ni in net.nis:
-            self._install_ni(ni)
-
-        mgr = getattr(net, "fastpass", None)
-        if mgr is not None:
-            orig_launch = mgr.engine.launch_forward
-
-            def launch(pkt, prime, now, _orig=orig_launch):
-                tracer.record(pkt.pid, now, "upgraded",
-                              f"prime={prime} dst={pkt.dst}")
-                return _orig(pkt, prime, now)
-
-            mgr.engine.launch_forward = launch
-
-    def _install_ni(self, ni) -> None:
-        tracer = self
-        orig_source = ni.source
-
-        def source(pkt, _orig=orig_source):
-            tracer.record(pkt.pid, pkt.gen_cycle, "generated",
-                          f"{pkt.src}->{pkt.dst} cls={pkt.mclass}")
-            _orig(pkt)
-
-        ni.source = source
-
-        orig_bounced = ni.accept_bounced
-
-        def accept_bounced(pkt, now, _orig=orig_bounced):
-            tracer.record(pkt.pid, now, "bounced", f"prime={ni.id}")
-            _orig(pkt, now)
-
-        ni.accept_bounced = accept_bounced
-
-        orig_regen = ni._regenerate
-
-        def regenerate(now, pkt, _orig=orig_regen):
-            tracer.record(pkt.pid, now, "regenerated", "")
-            _orig(now, pkt)
-
-        ni._regenerate = regenerate
+        sub("generated", "generated",
+            lambda f: f"{f['src']}->{f['dst']} cls={f['mclass']}")
+        sub("injected", "injected",
+            lambda f: f"src={f['src']} dst={f['dst']}")
+        sub("ejected", "ejected",
+            lambda f: f"dst={f['dst']} fastpass={f['fastpass']}")
+        sub("upgraded", "upgraded",
+            lambda f: f"prime={f['prime']} dst={f['dst']}")
+        sub("bounce_returned", "bounced",
+            lambda f: f"prime={f['prime']}")
+        sub("dropped", "dropped",
+            lambda f: f"src={f['src']}")
+        sub("regenerated", "regenerated", lambda f: "")

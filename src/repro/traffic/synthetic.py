@@ -163,11 +163,13 @@ class SyntheticTraffic:
         if measured:
             self.measured_generated += len(events)
         # Inlined NI.source fast path: _fill never emits src == dst, so
-        # every event goes straight to the source queue.  A tracer patches
-        # ``source`` onto the NI instance — those keep the full call.
+        # every event goes straight to the source queue.  A test that
+        # patches ``source`` onto the NI instance keeps the full call
+        # (which then emits 'generated' itself — no double counting).
         nis = net.nis
         exposed = net.fault_exposed
         inj_active = net._inj_active
+        obs = net.obs
         queued = 0
         for src, dst, cls in events:
             pkt = Packet(src, dst, cls, now)
@@ -176,6 +178,9 @@ class SyntheticTraffic:
             if "source" in ni.__dict__:
                 ni.source(pkt)
                 continue
+            if obs is not None:
+                obs.emit("generated", now, pkt.pid,
+                         src=src, dst=dst, mclass=cls)
             if exposed:
                 pkt.fault_exposed = True
             ni.pending.append(pkt)

@@ -1,4 +1,5 @@
-"""Integration: DRAIN's tail-latency pathology (Fig. 12's claim).
+"""Integration: DRAIN's tail-latency pathology (Fig. 12's claim), plus a
+regression pin on the drain *phase* early-exit condition.
 
 When DRAIN's period fires inside a run, the whole-network circulation
 misroutes everything in flight — unlucky packets pick up large detours, so
@@ -44,3 +45,45 @@ class TestDrainTail:
         drain = run("drain")
         fp = run("fastpass", n_vcs=2)
         assert fp.p99_latency < drain.p99_latency
+
+
+class OvercountingTraffic(SyntheticTraffic):
+    """Claims one measured packet it never injected.
+
+    The phantom can never be delivered, so ``ejected_measured`` stays one
+    short of ``measured_generated`` forever — only the empty-network exit
+    (``total_backlog() + limbo > 0``) can end the drain phase early."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._phantom = False
+
+    def generate(self, net, now):
+        super().generate(net, now)
+        if not self._phantom and \
+                self.measure_start <= now < self.measure_end:
+            self.measured_generated += 1
+            self._phantom = True
+
+
+class TestDrainLoopExit:
+    """Regression pin: the drain loop must stop once the network is empty
+    even while undelivered measured packets remain on the books.  Without
+    the ``total_backlog() + limbo > 0`` term the loop spins for the full
+    ``drain_cycles`` budget on every run with an undeliverable packet."""
+
+    def test_drain_exits_early_when_network_empties(self):
+        cfg = SimConfig(rows=4, cols=4, warmup_cycles=50,
+                        measure_cycles=200, drain_cycles=50_000,
+                        fastpass_slot_cycles=64)
+        traffic = OvercountingTraffic("uniform", 0.05, seed=4)
+        traffic.stop = cfg.warmup_cycles + cfg.measure_cycles
+        sim = Simulation(cfg, get_scheme("fastpass", n_vcs=2), traffic)
+        res = sim.run()
+        assert traffic._phantom
+        assert res.extra["undelivered"] == 1
+        assert not res.deadlocked
+        assert sim.net.total_backlog() + sim.net.limbo == 0
+        # well before the 50k-cycle drain deadline: the empty-network
+        # exit fired, not the budget
+        assert res.cycles < cfg.warmup_cycles + cfg.measure_cycles + 2000

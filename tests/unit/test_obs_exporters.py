@@ -1,0 +1,171 @@
+"""Unit tests for the metric exporters.
+
+Includes a minimal parser of the Prometheus text exposition format so the
+export is checked for *parseability*, not just substring presence: every
+sample line must be ``name[{labels}] value`` with a numeric value, every
+metric must carry HELP/TYPE headers, and histogram bucket series must be
+cumulative and end at ``+Inf``.
+"""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.config import SimConfig
+from repro.obs import (
+    MetricsRegistry,
+    attach_observability,
+    metrics_dir,
+    snapshot_json,
+    to_prometheus,
+    write_metrics,
+)
+
+from tests.conftest import make_network
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def parse_prometheus(text: str):
+    """Parse the exposition format; returns (samples, helps, types).
+
+    ``samples`` maps ``(name, labels_tuple)`` to float value.  Raises
+    AssertionError on any malformed line.
+    """
+    samples, helps, types = {}, {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, mtype = rest.partition(" ")
+            assert mtype in ("counter", "gauge", "histogram"), line
+            types[name] = mtype
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        m = _SAMPLE_RE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        labels = []
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                lm = _LABEL_RE.match(part)
+                assert lm, f"bad label in {line!r}: {part!r}"
+                labels.append((lm.group(1), lm.group(2)))
+        raw = m.group("value")
+        value = {"+Inf": math.inf, "-Inf": -math.inf}.get(raw)
+        if value is None:
+            value = float(raw)          # raises on garbage
+        samples[(m.group("name"), tuple(labels))] = value
+    return samples, helps, types
+
+
+@pytest.fixture
+def populated():
+    reg = MetricsRegistry()
+    reg.counter("a_total", "a help").inc(3)
+    fam = reg.counter_family("lane_total", "per lane", labels=("lane",))
+    fam.labels(0).inc(5)
+    fam.labels(1).inc(7)
+    reg.gauge("depth", "queue depth", lambda: 11)
+    reg.multi_gauge("occ", "per router", "router",
+                    lambda: [(0, 2), (3, 4)])
+    h = reg.histogram("lat", "latency", buckets=(10, 100))
+    for v in (5, 50, 500):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusExport:
+    def test_round_trips_through_parser(self, populated):
+        samples, helps, types = parse_prometheus(to_prometheus(populated))
+        assert samples[("a_total", ())] == 3
+        assert samples[("lane_total", (("lane", "0"),))] == 5
+        assert samples[("lane_total", (("lane", "1"),))] == 7
+        assert samples[("depth", ())] == 11
+        assert samples[("occ", (("router", "3"),))] == 4
+        assert types == {"a_total": "counter", "lane_total": "counter",
+                         "depth": "gauge", "occ": "gauge",
+                         "lat": "histogram"}
+        assert helps["lat"] == "latency"
+
+    def test_histogram_buckets_cumulative_to_inf(self, populated):
+        samples, _, _ = parse_prometheus(to_prometheus(populated))
+        b10 = samples[("lat_bucket", (("le", "10.0"),))]
+        b100 = samples[("lat_bucket", (("le", "100.0"),))]
+        binf = samples[("lat_bucket", (("le", "+Inf"),))]
+        assert (b10, b100, binf) == (1, 2, 3)
+        assert samples[("lat_sum", ())] == 555
+        assert samples[("lat_count", ())] == 3
+
+    def test_full_simulation_export_parses(self):
+        net = make_network(SimConfig(rows=4, cols=4))
+        obs = attach_observability(net)
+        for _ in range(50):
+            net.step()
+        samples, helps, types = parse_prometheus(to_prometheus(
+            obs.registry))
+        # every sample's base name carries HELP and TYPE headers
+        for name, _labels in samples:
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert base in types or name in types
+        assert ("noc_generated_total", ()) in samples
+
+
+class TestSnapshotJson:
+    def test_identity_fields(self):
+        net = make_network(SimConfig(rows=4, cols=4, seed=9))
+        obs = attach_observability(net, sample_every=5)
+        for _ in range(12):
+            net.step()
+        snap = snapshot_json(obs, label="unit")
+        assert snap["kind"] == "repro-metrics"
+        assert snap["label"] == "unit"
+        assert snap["mesh"] == [4, 4]
+        assert snap["seed"] == 9
+        assert snap["cycle"] == 12
+        assert snap["sample_every"] == 5
+        assert "noc_generated_total" in snap["metrics"]["counters"]
+        assert snap["series"]["noc_packets_in_flight"]["cycles"] == \
+            [0, 5, 10]
+        json.dumps(snap)        # fully serializable
+
+    def test_detached_obs_still_exports(self):
+        net = make_network(SimConfig(rows=4, cols=4))
+        obs = attach_observability(net)
+        obs.detach()
+        snap = snapshot_json(obs)
+        assert snap["cycle"] is None and snap["scheme"] is None
+        json.dumps(snap)
+
+
+class TestArtifacts:
+    def test_write_metrics_respects_results_dir(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        net = make_network(SimConfig(rows=4, cols=4))
+        obs = attach_observability(net)
+        net.step()
+        path = write_metrics(obs, "unit test/run:1")
+        assert path.parent == metrics_dir() == tmp_path / "metrics"
+        assert "unit-test-run-1" in path.name     # sanitized
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "repro-metrics"
+
+    def test_collision_free_filenames(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        net = make_network(SimConfig(rows=4, cols=4))
+        obs = attach_observability(net)
+        a = write_metrics(obs, "same")
+        b = write_metrics(obs, "same")
+        assert a != b and a.exists() and b.exists()

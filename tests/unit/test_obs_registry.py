@@ -1,0 +1,117 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc(self, reg):
+        c = reg.counter("c_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.help == "help text"
+
+    def test_duplicate_name_rejected(self, reg):
+        reg.counter("dup")
+        with pytest.raises(ValueError, match="dup"):
+            reg.counter("dup")
+        with pytest.raises(ValueError, match="dup"):
+            reg.gauge("dup", "", lambda: 0)
+
+
+class TestCounterFamily:
+    def test_children_keyed_by_labels(self, reg):
+        fam = reg.counter_family("ups_total", "per lane", labels=("lane",))
+        fam.labels(0).inc()
+        fam.labels(1).inc(2)
+        fam.labels(0).inc()
+        assert fam.labels(0).value == 2
+        assert fam.labels(1).value == 2
+        assert fam.total() == 4
+        assert [c.labels for c in fam.children()] == \
+            [(("lane", "0"),), (("lane", "1"),)]
+
+    def test_label_arity_checked(self, reg):
+        fam = reg.counter_family("f_total", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+
+class TestGauge:
+    def test_callback_read(self, reg):
+        state = {"v": 1}
+        g = reg.gauge("g", "", lambda: state["v"])
+        assert g.read() == 1
+        state["v"] = 42
+        assert g.read() == 42
+
+    def test_multi_gauge_stringifies_labels(self, reg):
+        mg = reg.multi_gauge("occ", "", "router",
+                             lambda: [(0, 3), (5, 1)])
+        assert mg.read() == [("0", 3), ("5", 1)]
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self):
+        h = Histogram("lat", buckets=(10, 20))
+        for v in (5, 10, 15, 100):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.cumulative() == [(10.0, 2), (20.0, 3), (math.inf, 4)]
+        assert h.sum == 130
+        assert h.count == 4
+
+    def test_mean_and_quantile(self):
+        h = Histogram("lat", buckets=(10, 20, 40))
+        for v in (1, 2, 3, 15, 35):
+            h.observe(v)
+        assert h.mean() == pytest.approx(56 / 5)
+        assert h.quantile(0.5) == 10.0     # 3/5 of mass in first bucket
+        assert h.quantile(0.99) == 40.0
+        assert Histogram("e").mean() != Histogram("e").mean()  # NaN empty
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", buckets=(10,))
+        h.observe(10**9)
+        assert h.counts[-1] == 1
+        assert h.quantile(1.0) == math.inf
+
+    def test_default_buckets_sorted_powerlike(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+        assert DEFAULT_BUCKETS[0] >= 1
+
+
+class TestRegistry:
+    def test_lookup_and_iteration(self, reg):
+        c = reg.counter("a")
+        g = reg.gauge("b", "", lambda: 0)
+        assert reg.get("a") is c
+        assert "b" in reg and "missing" not in reg
+        assert list(reg) == [c, g]
+        assert reg.names() == ["a", "b"]
+
+    def test_to_json_groups_by_metric_type(self, reg):
+        reg.counter("c_total").inc(3)
+        fam = reg.counter_family("f_total", labels=("lane",))
+        fam.labels(2).inc()
+        reg.gauge("g", "", lambda: 7)
+        reg.multi_gauge("m", "", "r", lambda: [(1, 9)])
+        h = reg.histogram("h", buckets=(10,))
+        h.observe(4)
+        snap = reg.to_json()
+        assert snap["counters"]["c_total"] == 3
+        assert snap["counters"]["f_total"] == {"lane=2": 1}
+        assert snap["gauges"]["g"] == 7
+        assert snap["gauges"]["m"] == {"1": 9}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        assert snap["histograms"]["h"]["mean"] == 4

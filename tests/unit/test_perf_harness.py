@@ -96,6 +96,66 @@ class TestCompareGate:
         assert perf.compare(new, base, fail_under=0.75) == 0
 
 
+class TestProfile:
+    def _shrink(self, monkeypatch, tmp_path):
+        from repro.config import SimConfig
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.setattr(perf, "SNAPSHOT_POINTS",
+                            [("escapevc", {}, "uniform", 0.05)])
+        monkeypatch.setattr(
+            perf, "snapshot_config",
+            lambda: SimConfig(rows=4, cols=4, warmup_cycles=50,
+                              measure_cycles=150, drain_cycles=300))
+
+    def test_run_profile_writes_prof_and_report(self, tmp_path,
+                                                monkeypatch):
+        import pstats
+
+        self._shrink(monkeypatch, tmp_path)
+        prof_path, txt_path = perf.run_profile(top=10)
+        assert prof_path.name == "snapshot.prof"
+        stats = pstats.Stats(str(prof_path))   # loadable by pstats
+        assert stats.total_calls > 0
+        report = txt_path.read_text()
+        assert "cumulative" in report and "tottime" in report
+        # the simulator's hot loop actually shows up in the profile
+        assert "step" in report
+
+    def test_cli_profile_flag(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import cli
+
+        self._shrink(monkeypatch, tmp_path)
+        fake = _snap([_point("p", 1000.0)])
+        fake.update(label=None, total_wall_s=0.1)
+        monkeypatch.setattr(perf, "run_snapshot",
+                            lambda repeat=1, label=None: fake)
+        calls = []
+        real = perf.run_profile
+        monkeypatch.setattr(perf, "run_profile",
+                            lambda top=30: calls.append(top) or real(top))
+        out = tmp_path / "new.json"
+        rc = cli.main(["perf", "snapshot", "--out", str(out),
+                       "--profile", "--profile-top", "5"])
+        assert rc == 0
+        assert calls == [5]
+        assert (tmp_path / "perf" / "profile" / "snapshot.prof").exists()
+
+    def test_no_profile_without_flag(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import cli
+
+        self._shrink(monkeypatch, tmp_path)
+        fake = _snap([_point("p", 1000.0)])
+        fake.update(label=None, total_wall_s=0.1)
+        monkeypatch.setattr(perf, "run_snapshot",
+                            lambda repeat=1, label=None: fake)
+        monkeypatch.setattr(perf, "run_profile", lambda top=30: (
+            (_ for _ in ()).throw(AssertionError("profiled without flag"))))
+        rc = cli.main(["perf", "snapshot",
+                       "--out", str(tmp_path / "n.json")])
+        assert rc == 0
+
+
 class TestCLI:
     def test_cli_wiring(self, tmp_path, monkeypatch):
         """End-to-end through the experiments CLI with a stubbed sweep."""

@@ -124,6 +124,77 @@ class TestPostmortem:
         assert not (tmp_path / "diagnostics").exists()
 
 
+class TestPostmortemSchema:
+    def _wedged(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        net = make_network(SimConfig(rows=4, cols=4, watchdog_cycles=50,
+                                     postmortem=True))
+        _park(net, wedge=True)
+        return net
+
+    def test_payload_round_trips_through_json(self, tmp_path, monkeypatch):
+        from repro.fault.postmortem import (
+            postmortem_payload,
+            validate_postmortem,
+            write_postmortem,
+        )
+
+        net = self._wedged(tmp_path, monkeypatch)
+        direct = validate_postmortem(postmortem_payload(net, now=70))
+        path = write_postmortem(net, now=70)
+        reread = validate_postmortem(json.loads(path.read_text()))
+        # JSON round-trip loses nothing the schema cares about.
+        for key in ("reason", "cycle", "scheme", "mesh", "seed",
+                    "packets_in_flight", "total_backlog"):
+            assert reread[key] == direct[key]
+
+    def test_validate_rejects_missing_and_mistyped(self):
+        from repro.fault.postmortem import validate_postmortem
+
+        with pytest.raises(ValueError, match="missing key"):
+            validate_postmortem({"reason": "x"})
+        good = {
+            "reason": "t", "cycle": 1, "scheme": "s", "mesh": [4, 4],
+            "seed": 1, "last_progress": 0, "watchdog_fired_at": -1,
+            "packets_in_flight": 0, "total_backlog": 0, "in_transit": 0,
+            "wait_for_cycle": None, "vc_occupancy": [], "ni_queues": [],
+            "faults": None,
+        }
+        validate_postmortem(good)                      # passes
+        bad = dict(good, cycle="not-a-cycle")
+        with pytest.raises(ValueError, match="cycle"):
+            validate_postmortem(bad)
+        bad = dict(good, mesh=[4])
+        with pytest.raises(ValueError, match="mesh"):
+            validate_postmortem(bad)
+
+    def test_rearm_produces_second_valid_postmortem(self, tmp_path,
+                                                    monkeypatch):
+        from repro.fault.postmortem import validate_postmortem
+
+        net = self._wedged(tmp_path, monkeypatch)
+        for _ in range(60):
+            net.step()
+        assert net.watchdog.deadlocked
+        first = net.postmortem_path
+        assert first is not None and first.exists()
+        validate_postmortem(json.loads(first.read_text()))
+
+        # Recovery: re-arm the watchdog; the still-wedged packet trips it
+        # again and the hook writes a second, distinct dump.
+        net.watchdog.rearm(now=net.cycle)
+        assert not net.watchdog.deadlocked
+        for _ in range(60):
+            net.step()
+        assert net.watchdog.deadlocked
+        assert net.watchdog.fire_count == 2
+        second = net.postmortem_path
+        assert second is not None and second != first
+        payload = validate_postmortem(json.loads(second.read_text()))
+        assert payload["watchdog_fired_at"] > \
+            json.loads(first.read_text())["watchdog_fired_at"]
+
+
 class TestParanoia:
     def test_paranoia_catches_corruption(self):
         from repro.network.validate import InvariantViolation
