@@ -5,9 +5,16 @@ needs:
 
 * **cache-first** — points whose content address is already in the run
   cache are returned instantly and never recomputed;
-* **crash isolation** — every point runs in its own worker process; a
-  worker that dies (segfault, OOM-kill, ``os._exit``) fails only its
-  point, never the campaign;
+* **replica batching** — points that differ only in their meta seed are
+  folded into one lock-step :class:`~repro.sim.batch.engine.ReplicaBatch`
+  per worker (scalar-bit-identical results, cached under their unchanged
+  per-point keys); ``REPRO_NO_BATCH=1`` disables the folding;
+* **fork prewarm** — before forking workers the parent derives the route
+  tables for every distinct configuration once, so children inherit them
+  copy-on-write instead of re-deriving per process;
+* **crash isolation** — every task (point or batch) runs in its own
+  worker process; a worker that dies (segfault, OOM-kill, ``os._exit``)
+  fails only its task, never the campaign;
 * **bounded retries with backoff** — a failed point is retried up to
   ``RetryPolicy.max_attempts`` times, waiting ``backoff_s * 2**(n-1)``
   between attempts; exhausted points yield a placeholder result and are
@@ -26,6 +33,7 @@ use.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -35,7 +43,13 @@ from repro.config import RunResult, SimConfig
 from repro.sim.parallel import Point, pool_context
 
 from repro.campaign import cache as cache_mod
-from repro.campaign.worker import execute_point, failed_result
+from repro.campaign.worker import (execute_group, execute_point,
+                                   failed_result, replica_signature)
+
+#: replicas per lock-step batch.  Bounds the memory footprint of one
+#: worker (R full networks) and keeps a crash/timeout from voiding too
+#: many points at once; larger seed sets split into several batches.
+BATCH_CAP = 16
 
 
 @dataclass(frozen=True)
@@ -67,8 +81,10 @@ class Progress:
 
 @dataclass
 class _Task:
-    key: str
-    point: Point
+    """One unit of worker execution: a single point, or a group of
+    seed replicas batched into one lock-step run."""
+
+    items: list                # [(key, Point), ...]
     attempt: int = 0
     eligible: float = 0.0      # monotonic time before which we must wait
 
@@ -81,10 +97,24 @@ class _Running:
     started: float = field(default_factory=time.monotonic)
 
 
-def _child(point: Point, cfg: SimConfig, conn) -> None:
+def _pool_size(requested: int | None, n_tasks: int) -> int:
+    """Worker processes to launch: the request (default one per task),
+    never more than there are tasks, capped by the CPU-affinity mask —
+    ``os.cpu_count`` oversubscribes pinned/cgrouped CI runners."""
+    from repro.sim.batch.shared import default_workers
+    return max(1, min(requested or n_tasks, n_tasks, default_workers()))
+
+
+def _execute_task(points: list[Point], cfg: SimConfig) -> list[RunResult]:
+    if len(points) == 1:
+        return [execute_point(points[0], cfg)]
+    return execute_group(points, cfg)
+
+
+def _child(points: list[Point], cfg: SimConfig, conn) -> None:
     try:
-        res = execute_point(point, cfg)
-        conn.send(("ok", cache_mod.result_to_json(res)))
+        out = _execute_task(points, cfg)
+        conn.send(("ok", [cache_mod.result_to_json(r) for r in out]))
     except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -98,13 +128,18 @@ class CampaignExecutor:
     def __init__(self, cfg: SimConfig, cache=None, store=None,
                  processes: int | None = None,
                  retry: RetryPolicy | None = None,
-                 progress=None):
+                 progress=None, auto_batch: bool = True):
         self.cfg = cfg
         self.cache = cache
         self.store = store
         self.processes = processes
         self.retry = retry or RetryPolicy()
         self.progress = progress
+        #: group points differing only in their meta seed into lock-step
+        #: replica batches (results stay bit-identical and individually
+        #: cached; REPRO_NO_BATCH=1 is the environment escape hatch)
+        self.auto_batch = auto_batch and \
+            os.environ.get("REPRO_NO_BATCH") != "1"
         self.summary: dict = {}
 
     # ------------------------------------------------------------------
@@ -133,27 +168,47 @@ class CampaignExecutor:
                     if self.store is not None:
                         self.store.mark(key, "done")
         pending = [(k, p) for k, p in unique.items() if k not in results]
+        tasks = self._group(pending)
 
         state = {"total": len(unique), "cached": cached, "done": 0,
                  "failed": 0, "running": 0, "t0": t0}
         self._report(state)
-        if pending:
-            if self._serial_ok(len(pending)):
-                self._run_serial(pending, results, state)
+        if tasks:
+            if self._serial_ok(len(tasks)):
+                self._run_serial(tasks, results, state)
             else:
-                self._run_parallel(pending, results, state)
+                self._run_parallel(tasks, results, state)
 
         self.summary = {
             "total": len(unique), "cached": cached,
             "computed": state["done"], "failed": state["failed"],
+            "batched": sum(len(t.items) for t in tasks
+                           if len(t.items) > 1),
             "elapsed_s": time.monotonic() - t0,
         }
         return [results[key] for key in keys]
 
-    def _serial_ok(self, n_pending: int) -> bool:
+    def _group(self, pending) -> list[_Task]:
+        """Fold seed replicas into batch tasks; everything else stays a
+        singleton.  Per-point cache keys are untouched — only the unit
+        of worker execution changes."""
+        tasks: list[_Task] = []
+        groups: dict = {}
+        for key, point in pending:
+            sig = replica_signature(point) if self.auto_batch else None
+            if sig is None:
+                tasks.append(_Task([(key, point)]))
+            else:
+                groups.setdefault(sig, []).append((key, point))
+        for items in groups.values():
+            for i in range(0, len(items), BATCH_CAP):
+                tasks.append(_Task(items[i:i + BATCH_CAP]))
+        return tasks
+
+    def _serial_ok(self, n_tasks: int) -> bool:
         if self.processes == 1:
             return True
-        return (self.processes is None and n_pending <= 1
+        return (self.processes is None and n_tasks <= 1
                 and self.retry.timeout_s is None)
 
     # -- shared bookkeeping ---------------------------------------------
@@ -190,53 +245,68 @@ class CampaignExecutor:
                                elapsed_s=elapsed, eta_s=eta))
 
     # -- serial path ----------------------------------------------------
-    def _run_serial(self, pending, results, state) -> None:
-        for key, point in pending:
+    def _run_serial(self, tasks, results, state) -> None:
+        for task in tasks:
             if self.store is not None:
-                self.store.mark(key, "running")
+                for key, _ in task.items:
+                    self.store.mark(key, "running")
             attempt = 0
+            points = [p for _, p in task.items]
             while True:
                 attempt += 1
                 try:
-                    res = execute_point(point, self.cfg)
+                    out = _execute_task(points, self.cfg)
                 except KeyboardInterrupt:
                     if self.store is not None:
-                        self.store.mark(key, "pending")
+                        for key, _ in task.items:
+                            self.store.mark(key, "pending")
                     raise
                 except Exception as exc:  # noqa: BLE001 - per-point isolation
                     error = f"{type(exc).__name__}: {exc}"
                     if attempt >= self.retry.max_attempts:
-                        self._finish_failed(key, point, error, attempt,
-                                            results, state)
+                        for key, point in task.items:
+                            self._finish_failed(key, point, error, attempt,
+                                                results, state)
                         break
                     time.sleep(min(self.retry.delay(attempt), 5.0))
                 else:
                     # Outside the except scope: an interrupt raised by the
                     # progress callback must not un-mark a finished point.
-                    self._finish_ok(key, point, res, results, state)
+                    for (key, point), res in zip(task.items, out):
+                        self._finish_ok(key, point, res, results, state)
                     break
 
     # -- parallel path --------------------------------------------------
-    def _run_parallel(self, pending, results, state) -> None:
+    def _run_parallel(self, tasks, results, state) -> None:
         ctx = pool_context()
-        procs = self.processes or len(pending)
-        import multiprocessing as mp
-        procs = max(1, min(procs, len(pending), mp.cpu_count()))
-        queue: deque[_Task] = deque(
-            _Task(key, point) for key, point in pending)
+        procs = _pool_size(self.processes, len(tasks))
+        if ctx.get_start_method() == "fork":
+            # Parent-side warm: derive the route tables (and scheme
+            # geometry) for every distinct configuration once, *before*
+            # forking — the children inherit the warmed pages
+            # copy-on-write and adopt them in build_network instead of
+            # re-deriving per worker.
+            from repro.sim.batch.shared import warm_process_cache
+            warm_process_cache(self.cfg, sorted(
+                {(p.scheme, p.scheme_kwargs)
+                 for t in tasks for _, p in t.items
+                 if ":" not in p.pattern}))
+        queue: deque[_Task] = deque(tasks)
         active: dict[object, _Running] = {}
 
         def launch(task: _Task) -> None:
             task.attempt += 1
             parent, child = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_child,
-                               args=(task.point, self.cfg, child),
+                               args=([p for _, p in task.items],
+                                     self.cfg, child),
                                daemon=True)
             proc.start()
             child.close()
             active[parent] = _Running(task, proc, parent)
             if self.store is not None:
-                self.store.mark(task.key, "running")
+                for key, _ in task.items:
+                    self.store.mark(key, "running")
             state["running"] = len(active)
 
         def settle(run: _Running, error: str | None,
@@ -247,11 +317,13 @@ class CampaignExecutor:
             run.proc.join(timeout=5)
             task = run.task
             if error is None:
-                res = cache_mod.result_from_json(payload)
-                self._finish_ok(task.key, task.point, res, results, state)
+                for (key, point), res_json in zip(task.items, payload):
+                    res = cache_mod.result_from_json(res_json)
+                    self._finish_ok(key, point, res, results, state)
             elif task.attempt >= self.retry.max_attempts:
-                self._finish_failed(task.key, task.point, error,
-                                    task.attempt, results, state)
+                for key, point in task.items:
+                    self._finish_failed(key, point, error,
+                                        task.attempt, results, state)
             else:
                 task.eligible = time.monotonic() + \
                     self.retry.delay(task.attempt)
@@ -299,4 +371,5 @@ class CampaignExecutor:
                 run.proc.join(timeout=1)
                 run.conn.close()
                 if self.store is not None:
-                    self.store.mark(run.task.key, "pending")
+                    for key, _ in run.task.items:
+                        self.store.mark(key, "pending")

@@ -74,6 +74,49 @@ def execute_point(point: Point, cfg: SimConfig) -> RunResult:
                      metrics=metrics)
 
 
+def replica_signature(point: Point):
+    """The grouping key for replica batching, or None when the point
+    must run scalar.
+
+    Points that agree on everything except their ``meta`` seed are
+    replicas of one simulation and can share a lock-step batch.  Only
+    plain synthetic patterns qualify: closed-loop (``app:``/``stress:``)
+    and selftest points have bespoke execution, and per-point metrics
+    (or a fleet-wide ``REPRO_METRICS``) attach observability, which the
+    batch engine deliberately refuses to fast-forward around — scalar
+    execution keeps those runs on the exact audited path.
+    """
+    if ":" in point.pattern:
+        return None
+    meta = dict(point.meta)
+    if meta.get("metrics") or int(os.environ.get("REPRO_METRICS", "0")
+                                  or 0):
+        return None
+    meta.pop("seed", None)
+    return (point.scheme, point.scheme_kwargs, point.pattern, point.rate,
+            tuple(sorted(meta.items())))
+
+
+def execute_group(points: list[Point], cfg: SimConfig) -> list[RunResult]:
+    """Run seed-replica ``points`` as one lock-step batch.
+
+    Every point must share a :func:`replica_signature`; results come
+    back in input order and are bit-identical to what
+    :func:`execute_point` would have produced for each point alone.
+    """
+    first = points[0]
+    meta = dict(first.meta)
+    token = meta.get("faults")
+    if token:
+        from repro.fault.plan import FaultPlan
+        cfg = cfg.with_(fault_plan=FaultPlan.from_token(token))
+    seeds = [dict(p.meta).get("seed") for p in points]
+    from repro.sim.runner import run_replicas
+    return run_replicas(first.scheme, first.pattern, first.rate, cfg,
+                        seeds, scheme_kwargs=dict(first.scheme_kwargs),
+                        traffic_stop=meta.get("traffic_stop"))
+
+
 def failed_result(point: Point, error: str) -> RunResult:
     """Placeholder for a point that exhausted its retries.
 

@@ -28,8 +28,27 @@ class FastPassManager:
         cfg = net.cfg
         self.net = net
         self.mesh = net.mesh
-        self.schedule = TdmSchedule(cfg.rows, cfg.cols, cfg.fastpass_slot())
         self.engine = FastFlowEngine(net)
+
+        # The TDM schedule and the hops-dependent round-trip table are
+        # pure mesh/config geometry; replicas of a batch (and prewarmed
+        # fork workers) share one copy via the network's SharedStructures
+        # instead of recomputing them per manager.
+        def _geometry():
+            mesh = self.mesh
+            n = mesh.n_routers
+            slack = self.engine.RETURN_SLACK
+            schedule = TdmSchedule(cfg.rows, cfg.cols, cfg.fastpass_slot())
+            rt = [2 * mesh.hops(p, d) + slack
+                  for p in range(n) for d in range(n)]
+            return schedule, rt
+
+        shared = net.shared
+        if shared is not None:
+            self.schedule, self._rt = shared.get_or_build(
+                "fastpass_geometry", _geometry)
+        else:
+            self.schedule, self._rt = _geometry()
         P = self.schedule.P
         self.lane_free_at = [0] * P
         self._min_free = 0     # min(lane_free_at): skip fully-busy cycles
@@ -48,14 +67,10 @@ class FastPassManager:
         self._cls_order = [MessageClass.REQUEST] + \
             [m for m in MessageClass if m != MessageClass.REQUEST]
         # Round-trip budget is ``2*hops + 2*size + RETURN_SLACK``; the
-        # hops-dependent part is pure mesh geometry, precomputed flat.
-        mesh = self.mesh
-        n = mesh.n_routers
-        self._nr = n
-        self._cols = mesh.cols
-        slack = self.engine.RETURN_SLACK
-        self._rt = [2 * mesh.hops(p, d) + slack
-                    for p in range(n) for d in range(n)]
+        # hops-dependent part lives in the (possibly shared) ``_rt``
+        # table built above.
+        self._nr = self.mesh.n_routers
+        self._cols = self.mesh.cols
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:

@@ -10,7 +10,8 @@ Usage::
     repro-experiments faults sweep --modes cut --rates 0.05
     repro-experiments obs report --scheme fastpass --rate 0.1
     repro-experiments obs export --format prometheus --out metrics.prom
-    repro-experiments perf snapshot --profile
+    repro-experiments perf snapshot --replicas 8
+    repro-experiments perf trend --baseline BENCH_baseline.json
     python -m repro.experiments.cli fig11
 
 Every experiment runs through the campaign layer: each simulation point is

@@ -91,14 +91,74 @@ def cached_point(scheme_name: str, scheme_kwargs: dict, pattern: str,
     return cached_points([point], cfg)[0]
 
 
+def cached_replicas(scheme_name: str, scheme_kwargs: dict, pattern: str,
+                    rate: float, seeds, cfg: SimConfig,
+                    jobs: int | None = None) -> list[RunResult]:
+    """Seed replicas of one synthetic point, cache-first.
+
+    The points are built with :meth:`Point.make_seeded`, so the campaign
+    executor folds the uncached ones into a single lock-step
+    :class:`~repro.sim.batch.engine.ReplicaBatch` per worker while every
+    replica keeps its own cache key (bit-identical to running each seed
+    scalar — see DESIGN §12).
+    """
+    points = [Point.make_seeded(scheme_name, pattern, rate, seed=s,
+                                **scheme_kwargs) for s in seeds]
+    return cached_points(points, cfg, jobs=jobs)
+
+
+def mean_result(replicas: list[RunResult]) -> RunResult:
+    """Collapse seed replicas into one summary result.
+
+    Latencies are averaged over the replicas that delivered packets
+    (NaN-aware); counters are summed; ``deadlocked`` is true if any
+    replica deadlocked.  The ``extra`` early-stop keys
+    (``measured_generated``/``undelivered``) are summed so sweep
+    early-stop logic keeps working on the summary.
+    """
+    lats = [r.avg_latency for r in replicas
+            if r.avg_latency == r.avg_latency]
+    p99s = [r.p99_latency for r in replicas
+            if r.p99_latency == r.p99_latency]
+    res = RunResult(
+        scheme=replicas[0].scheme,
+        injected=sum(r.injected for r in replicas),
+        ejected=sum(r.ejected for r in replicas),
+        dropped=sum(r.dropped for r in replicas),
+        avg_latency=sum(lats) / len(lats) if lats else float("nan"),
+        p99_latency=max(p99s) if p99s else float("nan"),
+        throughput=sum(r.throughput for r in replicas) / len(replicas),
+        deadlocked=any(r.deadlocked for r in replicas),
+        cycles=max(r.cycles for r in replicas),
+    )
+    res.extra["rate"] = replicas[0].extra.get("rate")
+    res.extra["pattern"] = replicas[0].extra.get("pattern")
+    res.extra["replicas"] = len(replicas)
+    res.extra["measured_generated"] = sum(
+        r.extra.get("measured_generated", 0) for r in replicas)
+    res.extra["undelivered"] = sum(
+        r.extra.get("undelivered", 0) for r in replicas)
+    return res
+
+
 def cached_sweep_latency(scheme_name: str, scheme_kwargs: dict,
-                         pattern: str, rates, cfg: SimConfig
-                         ) -> list[RunResult]:
+                         pattern: str, rates, cfg: SimConfig,
+                         seeds=None) -> list[RunResult]:
     """Cache-first latency-vs-rate sweep with the same early-stop rule as
-    :func:`repro.sim.runner.sweep_latency` (stop past saturation)."""
+    :func:`repro.sim.runner.sweep_latency` (stop past saturation).
+
+    With ``seeds`` the sweep repeats every rate under each seed — the
+    repeats run as one lock-step replica batch per rate — and each
+    returned result is the :func:`mean_result` over the replicas.
+    """
     out = []
     for rate in rates:
-        res = cached_point(scheme_name, scheme_kwargs, pattern, rate, cfg)
+        if seeds:
+            res = mean_result(cached_replicas(
+                scheme_name, scheme_kwargs, pattern, rate, seeds, cfg))
+        else:
+            res = cached_point(scheme_name, scheme_kwargs, pattern, rate,
+                               cfg)
         out.append(res)
         gen = max(1, res.extra.get("measured_generated", 0))
         if res.deadlocked or res.extra.get("undelivered", 0) > 0.5 * gen:

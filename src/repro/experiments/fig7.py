@@ -22,7 +22,10 @@ FULL_RATES = [round(0.02 * i, 2) for i in range(1, 16)]
 
 
 def run(quick: bool = True, patterns=PATTERNS, schemes=None,
-        rates=None) -> dict:
+        rates=None, seeds=None) -> dict:
+    """``seeds`` repeats every point under those seeds (averaged curves);
+    the repeats of one point execute as a single lock-step replica batch
+    through the campaign layer instead of N separate simulations."""
     cfg = synthetic_config(quick)
     rates = rates or (QUICK_RATES if quick else FULL_RATES)
     schemes = schemes or FIG7_SCHEMES
@@ -31,7 +34,7 @@ def run(quick: bool = True, patterns=PATTERNS, schemes=None,
         per_pattern = {}
         for label, name, kwargs in schemes:
             results = cached_sweep_latency(name, kwargs, pattern, rates,
-                                           cfg)
+                                           cfg, seeds=seeds)
             per_pattern[label] = [
                 (r.extra["rate"], r.avg_latency, r.deadlocked)
                 for r in results

@@ -46,6 +46,14 @@ SNAPSHOT_POINTS = [
 SNAPSHOT_SEED = 7
 DEFAULT_FAIL_UNDER = 0.75
 
+#: rates whose aggregate batch-vs-scalar speedup the batch gate watches
+#: (low load is where R-replica sweeps spend their time)
+BATCH_GATE_RATES = (0.02, 0.05)
+#: default floor for the batch gate: the measured aggregate low-load
+#: speedup on the reference machine minus headroom for CI noise (see
+#: BENCH_batch.json and DESIGN §12 for the measured decomposition)
+DEFAULT_BATCH_FAIL_UNDER = 1.25
+
 #: RunResult fields that must be bit-identical run-to-run for a fixed
 #: seed — the differential proof that engine work changed speed, not
 #: behaviour.  (NaN != NaN, so the check treats two NaNs as equal.)
@@ -122,6 +130,102 @@ def run_snapshot(repeat: int = 1, label: str | None = None) -> dict:
     }
 
 
+# -- replica-batch A/B ---------------------------------------------------
+
+def _result_fields(res) -> dict:
+    return {f: getattr(res, f) for f in RESULT_FIELDS}
+
+
+def run_batch_snapshot(replicas: int = 8, repeat: int = 3) -> dict:
+    """Interleaved A/B: R scalar ``run_point`` calls vs one R-replica
+    lock-step batch, per snapshot point.
+
+    Both sides pay full, honest cost: every scalar run constructs its own
+    network (the per-process reality before this PR — the process-level
+    prewarm cache is cleared first so nothing leaks between sides), and
+    the batch side times construction *and* execution of the whole
+    batch.  A and B alternate within each repeat, best-of-N per side, so
+    machine noise hits both equally — same protocol as the PR-2 engine
+    gate.  Every repeat also cross-checks that each replica's result is
+    bit-identical to its scalar twin; any mismatch raises.
+    """
+    from repro.schemes import get_scheme
+    from repro.sim.batch.engine import ReplicaBatch
+    from repro.sim.batch.shared import clear_process_cache
+    from repro.sim.runner import run_point
+
+    cfg = snapshot_config()
+    seeds = [SNAPSHOT_SEED + i for i in range(replicas)]
+    points = []
+    for scheme, kwargs, pattern, rate in SNAPSHOT_POINTS:
+        key = point_key(scheme, kwargs, pattern, rate)
+        best_scalar = best_batch = None
+        cycles = 0
+        for _ in range(max(1, repeat)):
+            clear_process_cache()
+            t0 = time.perf_counter()
+            scalar = [run_point(get_scheme(scheme, **kwargs), pattern,
+                                rate, cfg, seed=s) for s in seeds]
+            wall_scalar = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            batch = ReplicaBatch(cfg, scheme, pattern, rate, seeds,
+                                 scheme_kwargs=kwargs)
+            batched = batch.run()
+            wall_batch = time.perf_counter() - t0
+            for s, a, b in zip(seeds, scalar, batched):
+                fa, fb = _result_fields(a), _result_fields(b)
+                if any(not _same(fa[f], fb[f]) for f in RESULT_FIELDS):
+                    raise RuntimeError(
+                        f"replica batch drifted from scalar at {key} "
+                        f"seed {s}: {fa} != {fb}")
+            cycles = sum(r.cycles for r in batched)
+            if best_scalar is None or wall_scalar < best_scalar:
+                best_scalar = wall_scalar
+            if best_batch is None or wall_batch < best_batch:
+                best_batch = wall_batch
+        pt = {
+            "key": key,
+            "scheme": scheme,
+            "scheme_kwargs": kwargs,
+            "pattern": pattern,
+            "rate": rate,
+            "cycles": cycles,
+            "scalar_wall_s": best_scalar,
+            "batch_wall_s": best_batch,
+            "scalar_cycles_per_sec": cycles / best_scalar,
+            "batch_cycles_per_sec": cycles / best_batch,
+            "speedup": best_scalar / best_batch,
+            "identical": True,
+        }
+        print(f"  {key:40s} scalar {best_scalar * 1e3:8.1f} ms  "
+              f"batch {best_batch * 1e3:8.1f} ms  "
+              f"{pt['speedup']:5.2f}x")
+        points.append(pt)
+
+    def _agg(pts):
+        s = sum(p["scalar_wall_s"] for p in pts)
+        b = sum(p["batch_wall_s"] for p in pts)
+        return s / b if b else float("inf")
+
+    lowload = [p for p in points if p["rate"] in BATCH_GATE_RATES]
+    snap = {
+        "kind": "repro-batch-snapshot",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "seed": SNAPSHOT_SEED,
+        "replicas": replicas,
+        "repeat": repeat,
+        "points": points,
+        "lowload_speedup": _agg(lowload),
+        "overall_speedup": _agg(points),
+    }
+    print(f"  aggregate speedup: low-load {snap['lowload_speedup']:.2f}x "
+          f"(rates {BATCH_GATE_RATES}), "
+          f"overall {snap['overall_speedup']:.2f}x")
+    return snap
+
+
 # -- snapshot files ------------------------------------------------------
 
 def perf_dir() -> Path:
@@ -152,6 +256,69 @@ def write_snapshot(snap: dict, out: str | None) -> Path:
         path = next_snapshot_path(directory)
     path.write_text(json.dumps(snap, indent=2) + "\n")
     return path
+
+
+# -- snapshot history (the perf trajectory) ------------------------------
+
+def history_path() -> Path:
+    return perf_dir() / "history.jsonl"
+
+
+def append_history(snap: dict, path: Path | str | None = None) -> Path:
+    """Append one compact line per snapshot to ``history.jsonl``.
+
+    The full ``BENCH_<n>.json`` files remain the archival record; the
+    history file is the cheap append-only trajectory ``perf trend``
+    plots, so regressions show up as a drift over time instead of only
+    pairwise against one baseline.
+    """
+    path = Path(path) if path is not None else history_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "created": snap.get("created", ""),
+        "label": snap.get("label"),
+        "total_cycles_per_sec": snap.get("total_cycles_per_sec", 0.0),
+        "points": {p["key"]: p["cycles_per_sec"] for p in snap["points"]},
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry) + "\n")
+    return path
+
+
+def load_history(path: Path | str | None = None) -> list[dict]:
+    path = Path(path) if path is not None else history_path()
+    if not path.exists():
+        return []
+    out = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def print_trend(entries: list[dict], base: dict | None) -> None:
+    """The cycles/sec trajectory, normalised to the baseline snapshot."""
+    if not entries:
+        print("  no snapshots recorded yet "
+              f"(history: {history_path()})")
+        return
+    base_total = base["total_cycles_per_sec"] if base else None
+    base_points = {p["key"]: p["cycles_per_sec"]
+                   for p in base["points"]} if base else {}
+    print(f"  {'created':20s} {'label':16s} {'total cyc/s':>12s} "
+          f"{'vs base':>8s} {'worst point':>12s}")
+    for e in entries:
+        total = e["total_cycles_per_sec"]
+        ratio = f"{total / base_total:6.2f}x" if base_total else "     -"
+        worst = min((cps / base_points[k]
+                     for k, cps in e["points"].items()
+                     if k in base_points and base_points[k]),
+                    default=None)
+        worst_s = f"{worst:10.2f}x" if worst is not None else "         -"
+        label = (e.get("label") or "-")[:16]
+        print(f"  {e['created']:20s} {label:16s} {total:12.0f} "
+              f"{ratio:>8s} {worst_s:>12s}")
 
 
 # -- profiling -----------------------------------------------------------
@@ -273,19 +440,82 @@ def main(argv: list[str]) -> int:
     p_snap.add_argument("--profile-top", type=int, default=30,
                         metavar="N", help="functions to keep in the "
                                           "profile text summary")
+    p_snap.add_argument("--replicas", type=int, default=0, metavar="R",
+                        help="also run the replica-batch A/B (R scalar "
+                             "runs vs one R-replica batch per point) and "
+                             "write BENCH_batch.json")
+    p_snap.add_argument("--batch-out", default=None, metavar="PATH",
+                        help="batch snapshot path (default: results/"
+                             "perf/BENCH_batch.json)")
+    p_snap.add_argument("--batch-fail-under", type=float,
+                        default=DEFAULT_BATCH_FAIL_UNDER, metavar="R",
+                        help="minimum aggregate low-load batch speedup "
+                             f"(default: {DEFAULT_BATCH_FAIL_UNDER})")
+    p_snap.add_argument("--no-history", action="store_true",
+                        help="do not append this snapshot to "
+                             "results/perf/history.jsonl")
+
+    p_trend = sub.add_parser("trend",
+                             help="print the cycles/sec trajectory from "
+                                  "history.jsonl vs the baseline")
+    p_trend.add_argument("--baseline", default="BENCH_baseline.json",
+                         metavar="PATH",
+                         help="baseline snapshot to normalise against "
+                              "(default: BENCH_baseline.json)")
+    p_trend.add_argument("--history", default=None, metavar="PATH",
+                         help="history file (default: results/perf/"
+                              "history.jsonl)")
+    p_trend.add_argument("--run", action="store_true",
+                         help="time a fresh snapshot and append it to "
+                              "the history before printing")
+    p_trend.add_argument("--label", default=None,
+                         help="label for the fresh snapshot (with --run)")
     args = parser.parse_args(argv)
+
+    if args.cmd == "trend":
+        if args.run:
+            print("perf trend: timing a fresh snapshot")
+            snap = run_snapshot(repeat=1, label=args.label)
+            append_history(snap, args.history)
+        entries = load_history(args.history)
+        base = None
+        if args.baseline and Path(args.baseline).exists():
+            base = json.loads(Path(args.baseline).read_text())
+        elif args.baseline:
+            print(f"  (baseline {args.baseline} not found; "
+                  "printing raw trajectory)")
+        print_trend(entries, base)
+        return 0
 
     print("perf snapshot: "
           f"{len(SNAPSHOT_POINTS)} points, seed {SNAPSHOT_SEED}")
     snap = run_snapshot(repeat=args.repeat, label=args.label)
     path = write_snapshot(snap, args.out)
     print(f"  snapshot written to {path}")
+    if not args.no_history:
+        append_history(snap)
     if args.profile:
         prof_path, txt_path = run_profile(top=args.profile_top)
         print(f"  profile written to {prof_path} "
               f"(summary: {txt_path})")
+    rc = 0
+    if args.replicas:
+        print(f"batch A/B: {args.replicas} replicas, "
+              f"best of {args.repeat + 2}")
+        batch_snap = run_batch_snapshot(replicas=args.replicas,
+                                        repeat=args.repeat + 2)
+        batch_path = Path(args.batch_out) if args.batch_out else \
+            perf_dir() / "BENCH_batch.json"
+        batch_path.parent.mkdir(parents=True, exist_ok=True)
+        batch_path.write_text(json.dumps(batch_snap, indent=2) + "\n")
+        print(f"  batch snapshot written to {batch_path}")
+        if batch_snap["lowload_speedup"] < args.batch_fail_under:
+            print(f"\n  BATCH REGRESSION: low-load speedup "
+                  f"{batch_snap['lowload_speedup']:.2f}x < "
+                  f"{args.batch_fail_under:.2f}x")
+            rc = 1
     if not args.compare:
-        return 0
+        return rc
     base = json.loads(Path(args.compare).read_text())
     return compare(snap, base, args.fail_under,
-                   allow_result_drift=args.allow_result_drift)
+                   allow_result_drift=args.allow_result_drift) or rc

@@ -50,11 +50,17 @@ class Network:
     the naive loop (hooks invoked unconditionally) bit-identical.
     """
 
-    def __init__(self, cfg, mesh, routing_fn, router_cls=Router, scheme=None):
+    def __init__(self, cfg, mesh, routing_fn, router_cls=Router, scheme=None,
+                 shared=None):
         self.cfg = cfg
         self.mesh = mesh
         self.routing_fn = routing_fn
         self.scheme = scheme
+        #: SharedStructures when this network is a replica of a batch (or
+        #: a fork-prewarmed worker build): route memos and scheme-side
+        #: geometry are adopted instead of re-derived.  None for a plain
+        #: standalone build.
+        self.shared = shared
         self.cycle = 0
         self.last_progress = 0
         #: number of cycles in which the router (switch-allocation) phase
@@ -110,8 +116,21 @@ class Network:
                     for rid in range(mesh.n_routers)]
         self.links: list[Link] = []
         self._wire()
+        # Route tables: pure functions of (mesh, router, config), total
+        # after warm_routes and never written on the hot path — so a batch
+        # of seed replicas shares one set of memo dicts.  The first
+        # network built against a SharedStructures donates its tables;
+        # later ones adopt them and skip the warm pass entirely.
+        memos = shared.route_memos if shared is not None else None
+        if memos is None:
+            for router in self.routers:
+                router.warm_routes()
+            if shared is not None:
+                shared.route_memos = [r._mv_memo for r in self.routers]
+        else:
+            for router, memo in zip(self.routers, memos):
+                router._mv_memo = memo
         for router in self.routers:
-            router.warm_routes()
             router._ni = self.nis[router.id]
         self.watchdog = Watchdog(
             self, cfg.watchdog_cycles,

@@ -1,0 +1,27 @@
+"""Replica batching: run R seed replicas of one point in one process.
+
+See :mod:`repro.sim.batch.engine` for the lock-step engine,
+:mod:`repro.sim.batch.shared` for the shared immutable structures (and
+the fork-prewarm process cache), and :mod:`repro.sim.batch.traffic` for
+the cross-replica traffic matrix.
+"""
+
+from repro.sim.batch.shared import (SharedStructures, clear_process_cache,
+                                    default_workers, process_shared,
+                                    structures_key, warm_process_cache)
+
+__all__ = ["SharedStructures", "ReplicaBatch", "TrafficMatrix",
+           "clear_process_cache", "default_workers", "process_shared",
+           "structures_key", "warm_process_cache"]
+
+
+def __getattr__(name):
+    # ReplicaBatch/TrafficMatrix import the Simulation engine; loading
+    # them lazily keeps `engine.build_network -> batch.shared` cycle-free.
+    if name == "ReplicaBatch":
+        from repro.sim.batch.engine import ReplicaBatch
+        return ReplicaBatch
+    if name == "TrafficMatrix":
+        from repro.sim.batch.traffic import TrafficMatrix
+        return TrafficMatrix
+    raise AttributeError(name)

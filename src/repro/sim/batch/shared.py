@@ -1,0 +1,140 @@
+"""Immutable simulation structures shared across seed replicas.
+
+Replicas of one (scheme, pattern, rate) point differ only in their RNG
+seed, yet a scalar :func:`repro.sim.runner.run_point` rebuilds the mesh,
+the per-router route-memo tables (the dominant construction cost — the
+EscapeVC tables alone are ~95% of an 8x8 build), and the FastPass TDM
+schedule / round-trip table for every run.  All of those are pure
+functions of (config, scheme): after ``warm_routes`` the memo dicts are
+total and never written on the hot path, the :class:`Mesh` holds no
+mutable state, and the TDM geometry is derived from the mesh alone.
+
+:class:`SharedStructures` is the container the batch engine (and the
+fork-prewarm path) threads through construction: the *first* network
+built against it donates its structures; every later network adopts them
+instead of re-deriving.  Donation keeps the sharing honest — there is no
+separate "donor build", the first replica *is* the donor.
+
+A process-level cache (:func:`process_shared` / :func:`warm_process_cache`)
+backs the fork-inheritance satellite: a campaign parent warms the
+structures for the sweep's configurations before forking, and every
+forked worker's ``build_network`` adopts them via copy-on-write pages
+instead of re-deriving per process.  The cache is only ever *populated*
+by an explicit warm call, so timing comparisons against cold scalar runs
+stay meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.network.topology import Mesh
+
+
+class SharedStructures:
+    """Mutable holder of immutable structures, shared by construction.
+
+    The contract: every value stored here must be a pure function of
+    (config, scheme identity) — route-memo tables after ``warm_routes``,
+    the mesh, TDM schedules, round-trip tables.  :meth:`claim` pins the
+    (config, scheme) identity on first use and rejects any later network
+    built with a different one, so a table can never leak between
+    incompatible simulations.
+    """
+
+    __slots__ = ("mesh", "route_memos", "_extras", "_identity")
+
+    def __init__(self) -> None:
+        self.mesh: Mesh | None = None
+        #: per-router ``_mv_memo`` dicts, donated by the first network
+        #: built against this instance (after its ``warm_routes`` pass)
+        self.route_memos: list[dict] | None = None
+        self._extras: dict = {}
+        self._identity: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def claim(self, cfg, scheme) -> None:
+        """Pin (or verify) the structural identity these tables serve."""
+        ident = structures_key(cfg, scheme)
+        if self._identity is None:
+            self._identity = ident
+        elif self._identity != ident:
+            raise ValueError(
+                "SharedStructures built for "
+                f"{self._identity} reused with {ident}")
+
+    def get_or_build(self, key: str, build):
+        """Scheme-side extras (FastPass TDM geometry, round-trip tables):
+        the first caller builds, everyone after adopts."""
+        try:
+            return self._extras[key]
+        except KeyError:
+            value = self._extras[key] = build()
+            return value
+
+
+def structures_key(cfg, scheme) -> tuple:
+    """Everything the shared tables are derived from.
+
+    ``cfg`` must be the post-``configure`` config (VN/VC counts applied).
+    """
+    return (type(scheme).__qualname__, scheme.label,
+            cfg.rows, cfg.cols, cfg.n_vns, cfg.n_vcs,
+            cfg.router_latency, cfg.link_latency, cfg.fastpass_slot())
+
+
+# -- process-level cache (fork inheritance) -----------------------------
+
+_PROCESS_CACHE: dict[tuple, SharedStructures] = {}
+
+
+def process_shared(cfg, scheme) -> SharedStructures | None:
+    """The prewarmed structures for this configuration, if a parent (or
+    an earlier warm call in this process) built them.  ``cfg`` must be
+    post-``configure``.  Returns None when nothing was warmed — ambient
+    sharing never happens without an explicit :func:`warm_process_cache`.
+    """
+    return _PROCESS_CACHE.get(structures_key(cfg, scheme))
+
+
+def warm_process_cache(cfg, schemes) -> int:
+    """Build and cache the shared structures for every scheme in
+    ``schemes`` (``(name, kwargs_dict)`` pairs) under ``cfg``.
+
+    Called by the campaign executor on the parent side before forking
+    workers: the warmed route tables land in pages the fork children
+    inherit copy-on-write, so R workers pay one derivation instead of R.
+    Returns the number of configurations newly warmed.
+    """
+    from repro.schemes import get_scheme
+    from repro.sim.engine import build_network
+
+    warmed = 0
+    for name, kwargs in schemes:
+        scheme = get_scheme(name, **dict(kwargs))
+        key = structures_key(scheme.configure(cfg), scheme)
+        if key in _PROCESS_CACHE:
+            continue
+        shared = SharedStructures()
+        build_network(cfg, scheme, shared=shared)
+        _PROCESS_CACHE[key] = shared
+        warmed += 1
+    return warmed
+
+
+def clear_process_cache() -> None:
+    _PROCESS_CACHE.clear()
+
+
+def default_workers() -> int:
+    """Worker-count ceiling that respects CPU affinity.
+
+    ``os.cpu_count()`` reports the machine, not the cgroup/affinity mask
+    a containerized CI run is pinned to; oversubscribing the mask makes
+    every worker slower.  Falls back to ``cpu_count`` where affinity is
+    unavailable (macOS, Windows).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1

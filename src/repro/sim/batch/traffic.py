@@ -1,0 +1,103 @@
+"""Cross-replica synthetic-traffic coordination.
+
+Each replica keeps its own :class:`~repro.traffic.synthetic.SyntheticTraffic`
+— the per-seed RNG *stream* is the identity of a replica, so draws can
+never be merged into one generator without changing every result.  What
+*can* be vectorized across replicas is the bookkeeping around those
+streams: the per-chunk Bernoulli fills already produce an exact per-cycle
+event-count vector (``_chunk_counts``), and stacking the R vectors into
+one ``(R, CHUNK)`` matrix lets the batch scheduler answer, without
+touching any replica, the two questions it asks every park decision:
+
+* does replica *i* inject anything at cycle *c*?  (``counts[i, c] == 0``
+  proves its ``generate`` call is a no-op), and
+* when is replica *i*'s next injection?  (first non-zero column at or
+  after *c* — a single ``np.nonzero`` over the row slice).
+
+Refills stay on the scalar path (``_fill`` is already vectorized per
+replica) but are driven through :meth:`TrafficMatrix.ensure` so that a
+parked replica's chunk is refilled at exactly the cycle the scalar run
+would have refilled it — ``_fill(start)`` places events relative to
+``start``, so letting a refill slide to the wake cycle would shift the
+whole stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FAR = 1 << 60
+
+
+class TrafficMatrix:
+    """The stacked per-cycle event counts of R replica traffic sources."""
+
+    def __init__(self, traffics: list):
+        self.traffics = traffics
+        self._counts: np.ndarray | None = None   # (R, CHUNK)
+        self._starts = np.zeros(len(traffics), dtype=np.int64)
+        self._busy: list | None = None   # per-row sorted nonzero columns
+
+    # ------------------------------------------------------------------
+    def ensure(self, now: int, live) -> None:
+        """Refill every live replica whose chunk ends at ``now``.
+
+        Mirrors the refill condition inside ``generate`` (not stopped,
+        ``now >= _chunk_end``), so by the time any replica's ``step``
+        runs its own generate call, the fill has already happened at the
+        cycle the scalar run would have performed it.  ``generate``
+        re-checks the condition and finds it false — the stream is
+        untouched, only the *site* of the fill moved.
+        """
+        dirty = False
+        for ri in live:
+            t = self.traffics[ri]
+            if t.stop is not None and now >= t.stop:
+                continue
+            if now >= t._chunk_end:
+                t._fill(now)
+                dirty = True
+        if dirty or self._counts is None:
+            self._refresh()
+
+    def _refresh(self) -> None:
+        counts = [t._chunk_counts for t in self.traffics]
+        if any(c is None for c in counts):
+            return      # nothing filled yet; queries fall back below
+        self._counts = np.stack(counts)
+        self._starts = np.array([t._chunk_start for t in self.traffics],
+                                dtype=np.int64)
+        # Busy columns per row, found once per refill so that every
+        # next_event query is a binary search instead of an np.nonzero
+        # scan-and-allocate over the row slice.
+        self._busy = [np.flatnonzero(row) for row in self._counts]
+
+    # ------------------------------------------------------------------
+    def quiet_at(self, ri: int, now: int) -> bool:
+        """True when replica ``ri`` provably injects nothing at ``now``."""
+        t = self.traffics[ri]
+        if t.stop is not None and now >= t.stop:
+            return True
+        if self._counts is None or not \
+                (t._chunk_start <= now < t._chunk_end):
+            return False
+        return self._counts[ri, now - t._chunk_start] == 0
+
+    def next_event(self, ri: int, frm: int) -> int:
+        """First cycle >= ``frm`` at which replica ``ri``'s generate call
+        does observable work: its next injection event, or the refill at
+        the chunk boundary — whichever comes first.  ``_FAR`` when the
+        source is stopped (a stopped generate never fills or pops)."""
+        t = self.traffics[ri]
+        stop = t.stop if t.stop is not None else _FAR
+        if frm >= stop:
+            return _FAR
+        end = t._chunk_end
+        if self._busy is None or frm < t._chunk_start or frm >= end:
+            return frm      # unknown: treat the very next cycle as busy
+        busy = self._busy[ri]
+        i = int(np.searchsorted(busy, frm - t._chunk_start))
+        # Next event in this chunk, else the refill at the boundary —
+        # either only matters while it lands before the stop cycle.
+        nxt = t._chunk_start + int(busy[i]) if i < len(busy) else end
+        return nxt if nxt < stop else _FAR

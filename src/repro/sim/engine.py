@@ -17,12 +17,31 @@ from repro.network.routing import ROUTERS
 from repro.network.topology import Mesh
 
 
-def build_network(cfg: SimConfig, scheme) -> Network:
-    """Construct a network configured for ``scheme``."""
+def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
+    """Construct a network configured for ``scheme``.
+
+    ``shared`` is a :class:`repro.sim.batch.shared.SharedStructures`:
+    the first build against it donates the immutable tables (mesh, route
+    memos, scheme geometry), later builds adopt them.  Without an
+    explicit ``shared`` the process-level cache is consulted, so fork
+    workers whose parent prewarmed the structures inherit them
+    copy-on-write instead of re-deriving (and a cold process, where the
+    cache is empty, builds exactly as before).
+    """
     cfg = scheme.configure(cfg)
-    mesh = Mesh(cfg.rows, cfg.cols)
+    if shared is None:
+        from repro.sim.batch.shared import process_shared
+        shared = process_shared(cfg, scheme)
+    if shared is not None:
+        shared.claim(cfg, scheme)
+        mesh = shared.mesh
+        if mesh is None:
+            mesh = shared.mesh = Mesh(cfg.rows, cfg.cols)
+    else:
+        mesh = Mesh(cfg.rows, cfg.cols)
     net = Network(cfg, mesh, ROUTERS[scheme.routing],
-                  router_cls=scheme.router_cls, scheme=scheme)
+                  router_cls=scheme.router_cls, scheme=scheme,
+                  shared=shared)
     scheme.build(net)
     return net
 
@@ -30,9 +49,9 @@ def build_network(cfg: SimConfig, scheme) -> Network:
 class Simulation:
     """One (scheme, traffic, config) run."""
 
-    def __init__(self, cfg: SimConfig, scheme, traffic):
+    def __init__(self, cfg: SimConfig, scheme, traffic, shared=None):
         self.scheme = scheme
-        self.net = build_network(cfg, scheme)
+        self.net = build_network(cfg, scheme, shared=shared)
         self.cfg = self.net.cfg
         self.traffic = traffic
         traffic.bind(self.net)

@@ -10,6 +10,13 @@ Execution is delegated to the campaign executor
 bounded retries and optional wall-clock timeouts on top of the plain
 process pool.  ``parallel_sweep`` keeps its always-recompute semantics
 (no result cache) unless a cache is passed explicitly.
+
+Two batching layers keep the pool from re-deriving identical immutable
+state: under fork start methods the executor warms the route tables for
+every distinct configuration on the parent side before the first worker
+starts (children inherit them copy-on-write), and points that differ
+only in their seed (:meth:`Point.make_seeded`) run as one lock-step
+replica batch per worker instead of R separate simulations.
 """
 
 from __future__ import annotations
@@ -42,6 +49,18 @@ class Point:
              **scheme_kwargs) -> "Point":
         return Point(scheme, tuple(sorted(scheme_kwargs.items())),
                      pattern, rate)
+
+    @staticmethod
+    def make_seeded(scheme: str, pattern: str, rate: float, seed: int,
+                    **scheme_kwargs) -> "Point":
+        """A synthetic point pinned to a seed.
+
+        Seed replicas of one (scheme, pattern, rate) built this way are
+        folded into a single lock-step batch by the campaign executor
+        while keeping their individual cache keys.
+        """
+        return Point(scheme, tuple(sorted(scheme_kwargs.items())),
+                     pattern, rate, (("seed", seed),))
 
     @staticmethod
     def make_app(scheme: str, benchmark: str, txns: int, seed: int = 1,

@@ -48,6 +48,30 @@ def run_point(scheme: Scheme | str, pattern: str, rate: float,
     return res
 
 
+def run_replicas(scheme: str, pattern: str, rate: float, cfg: SimConfig,
+                 seeds, scheme_kwargs: dict | None = None,
+                 traffic_stop: int | None = None,
+                 naive: bool = False) -> list[RunResult]:
+    """Run one point under several seeds as a lock-step replica batch.
+
+    Semantically ``[run_point(scheme, pattern, rate, cfg, seed=s) for s
+    in seeds]`` — each returned :class:`RunResult` is bit-identical to
+    the scalar run with that seed (proven by the differential tests) —
+    but the replicas share one set of immutable structures (mesh, route
+    tables, FastPass geometry) and advance together, so R seeds cost far
+    less than R scalar runs.  ``scheme`` is a registry name: every
+    replica needs its own scheme instance, so an already-built
+    :class:`Scheme` object cannot be shared the way ``run_point``
+    accepts one.
+    """
+    from repro.sim.batch.engine import ReplicaBatch
+    batch = ReplicaBatch(cfg, scheme, pattern, rate,
+                         [cfg.seed if s is None else s for s in seeds],
+                         scheme_kwargs=scheme_kwargs,
+                         traffic_stop=traffic_stop, naive=naive)
+    return batch.run()
+
+
 def sweep_latency(scheme: Scheme | str, pattern: str, rates,
                   cfg: SimConfig) -> list[RunResult]:
     """Latency-vs-injection-rate curve (Fig. 7 style).

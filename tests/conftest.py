@@ -58,14 +58,17 @@ def _reset_pid_counter():
 
 
 @pytest.fixture(autouse=True)
-def _campaign_isolation(tmp_path):
-    """Point the campaign layer at a per-test directory.
+def _campaign_isolation(tmp_path, monkeypatch):
+    """Point the campaign layer and results tree at a per-test directory.
 
     Without this, any test that touches an experiment module would write
     cached results into the repository's ``results/`` tree and could see
-    stale results from earlier tests.
+    stale results from earlier tests.  ``REPRO_RESULTS_DIR`` covers the
+    non-campaign writers too (fault post-mortems, metrics artifacts, the
+    perf snapshot history).
     """
     from repro.campaign import context
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
     context.configure(cache_dir=tmp_path / "cache",
                       campaign_dir=tmp_path / "campaigns",
                       enabled=True, jobs=None, campaign=None,

@@ -1,0 +1,183 @@
+"""Differential proof that lock-step replica batching is bit-identical
+to scalar execution.
+
+Every replica of a :class:`~repro.sim.batch.engine.ReplicaBatch` must
+return exactly the :class:`~repro.config.RunResult` that a scalar
+``run_point`` with the same seed produces — every dataclass field plus
+the ``extra`` dict — on both step engines (active-set and naive), with
+FastPass bounces occurring, under transient faults, and while the
+whole-replica parking fast-path is engaging.  The paranoia audit stays
+on for the plain runs, so structural corruption introduced by structure
+sharing would be caught at its source.
+"""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config import SimConfig
+from repro.fault.plan import LINK_FLAP, FaultEvent, FaultPlan
+from repro.schemes import get_scheme
+from repro.sim.batch.engine import ReplicaBatch
+from repro.sim.runner import run_point, run_replicas
+
+SEEDS = [3, 5, 7, 11]
+
+
+def _cfg(**over):
+    base = dict(rows=4, cols=4, warmup_cycles=100, measure_cycles=400,
+                drain_cycles=1200, watchdog_cycles=800,
+                fastpass_slot_cycles=64, paranoia=50)
+    base.update(over)
+    return SimConfig(**base)
+
+
+def _same(a, b):
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+def assert_results_equal(scalar, batched, label):
+    for f in dataclasses.fields(scalar):
+        if f.name == "extra":
+            continue
+        va, vb = getattr(scalar, f.name), getattr(batched, f.name)
+        assert _same(va, vb), (f"{label}: field {f.name!r} differs: "
+                               f"scalar={va!r} batch={vb!r}")
+    assert set(scalar.extra) == set(batched.extra), \
+        f"{label}: extra keys differ"
+    for k in scalar.extra:
+        assert _same(scalar.extra[k], batched.extra[k]), \
+            f"{label}: extra[{k!r}] differs"
+
+
+def _scalar(scheme, pattern, rate, cfg, seed, naive=False, **kwargs):
+    import repro.sim.runner as runner
+    if naive:
+        # run_point has no naive switch; pin the flag via Simulation.
+        from repro.sim.engine import Simulation
+        from repro.traffic.synthetic import SyntheticTraffic
+        sim = Simulation(cfg, get_scheme(scheme, **kwargs),
+                         SyntheticTraffic(pattern, rate, seed=seed))
+        sim.net.force_naive_step = True
+        res = sim.run()
+        res.extra["rate"] = rate
+        res.extra["pattern"] = pattern
+        return res
+    return runner.run_point(get_scheme(scheme, **kwargs), pattern, rate,
+                            cfg, seed=seed)
+
+
+@pytest.mark.parametrize("naive", [False, True],
+                         ids=["active-set", "naive"])
+@pytest.mark.parametrize("scheme,kwargs,rate", [
+    ("fastpass", {"n_vcs": 2}, 0.30),
+    ("escapevc", {}, 0.08),
+])
+def test_batch_matches_scalar(scheme, kwargs, rate, naive):
+    cfg = _cfg()
+    batch = ReplicaBatch(cfg, scheme, "uniform", rate, SEEDS,
+                         scheme_kwargs=kwargs, naive=naive)
+    batched = batch.run()
+    for seed, res in zip(SEEDS, batched):
+        scalar = _scalar(scheme, "uniform", rate, cfg, seed,
+                         naive=naive, **kwargs)
+        assert_results_equal(scalar, res,
+                             f"{scheme}@{rate} seed={seed} naive={naive}")
+        assert res.ejected > 0
+
+
+@pytest.mark.parametrize("naive", [False, True],
+                         ids=["active-set", "naive"])
+def test_batch_matches_scalar_with_bounces(monkeypatch, naive):
+    """A FastPass run in which the bounce protocol demonstrably fires.
+
+    Synthetic sinks normally drain too fast for ejection queues to fill,
+    so throttle the NI consume bandwidth to zero (equally for both
+    sides) with single-entry ejection queues: FastPass deliveries then
+    find full queues and must reserve-and-bounce — the scalar-fallback
+    corner the batch engine must reproduce exactly."""
+    from repro.network.ni import NetworkInterface
+    monkeypatch.setattr(NetworkInterface, "CONSUME_RATE", 0)
+    cfg = _cfg(ej_queue_pkts=1)
+    batch = ReplicaBatch(cfg, "fastpass", "uniform", 0.30, SEEDS,
+                         scheme_kwargs={"n_vcs": 2}, naive=naive)
+    batched = batch.run()
+    assert sum(s.net.fastpass.engine.bounced
+               for s in batch.sims) > 0, "no bounces provoked"
+    for seed, res in zip(SEEDS, batched):
+        scalar = _scalar("fastpass", "uniform", 0.30, cfg, seed,
+                         naive=naive, n_vcs=2)
+        assert_results_equal(scalar, res,
+                             f"bounces seed={seed} naive={naive}")
+
+
+@pytest.mark.parametrize("scheme,kwargs", [("fastpass", {"n_vcs": 2}),
+                                           ("escapevc", {})])
+def test_batch_matches_scalar_under_faults(scheme, kwargs):
+    """Transient faults force every replica onto the scalar step path
+    (no parking) and mutate routing state mid-run — results must still
+    match scalar runs field for field."""
+    plan = FaultPlan(
+        events=(FaultEvent(LINK_FLAP, at=150, router=5, port=2,
+                           duration=120),),
+        rate=0.002, start=100, stop=400, seed=3)
+    cfg = _cfg(paranoia=0).with_(fault_plan=plan)
+    seeds = SEEDS[:3]
+    batched = run_replicas(scheme, "uniform", 0.08, cfg, seeds,
+                           scheme_kwargs=kwargs, traffic_stop=500)
+    for seed, res in zip(seeds, batched):
+        scalar = run_point(get_scheme(scheme, **kwargs), "uniform", 0.08,
+                           cfg, seed=seed, traffic_stop=500)
+        assert_results_equal(scalar, res, f"{scheme} faults seed={seed}")
+        assert "faults" in res.extra
+
+
+def test_parking_engages_and_stays_bit_identical():
+    """At a very low rate whole replicas go idle for long stretches; the
+    batch must actually fast-forward them (the perf win) while staying
+    bit-identical to the scalar runs it skipped cycles of."""
+    cfg = _cfg(paranoia=0)
+    seeds = SEEDS
+    batch = ReplicaBatch(cfg, "fastpass", "uniform", 0.002, seeds,
+                         scheme_kwargs={"n_vcs": 2})
+    batched = batch.run()
+    assert batch.skipped_cycles > 0, "parking never engaged"
+    for seed, res in zip(seeds, batched):
+        scalar = run_point(get_scheme("fastpass", n_vcs=2), "uniform",
+                           0.002, cfg, seed=seed)
+        assert_results_equal(scalar, res, f"parked seed={seed}")
+
+
+def test_paranoia_disables_parking_but_not_batching():
+    """With the paranoia audit on, replicas are never quiet (the audit
+    is a per-cycle side effect the fast-forward cannot replay), yet the
+    batch still runs and matches scalar."""
+    cfg = _cfg(paranoia=50)
+    batch = ReplicaBatch(cfg, "escapevc", "uniform", 0.002, SEEDS[:2])
+    batched = batch.run()
+    assert batch.skipped_cycles == 0
+    for seed, res in zip(SEEDS[:2], batched):
+        scalar = run_point(get_scheme("escapevc"), "uniform", 0.002,
+                           cfg, seed=seed)
+        assert_results_equal(scalar, res, f"paranoia seed={seed}")
+
+
+def test_run_replicas_defaults_seed_from_config():
+    cfg = _cfg(seed=9, paranoia=0)
+    batched = run_replicas("baseline", "uniform", 0.05, cfg, [None, 9])
+    assert_results_equal(batched[0], batched[1], "default-seed")
+
+
+def test_aggregate_reduces_across_replicas():
+    cfg = _cfg(paranoia=0)
+    batch = ReplicaBatch(cfg, "escapevc", "uniform", 0.05, SEEDS[:3])
+    agg = batch.aggregate(batch.run())
+    assert agg["replicas"] == 3
+    assert agg["avg_latency_min"] <= agg["avg_latency_mean"] \
+        <= agg["avg_latency_max"]
+    assert agg["deadlocked"] == 0
+    assert agg["cycles_total"] > 0

@@ -1,0 +1,202 @@
+"""Unit tests for the replica-batch sharing layer: SharedStructures,
+the process-level prewarm cache, the affinity-aware worker count, and
+the cross-replica TrafficMatrix."""
+
+import os
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim.batch.shared import (
+    SharedStructures,
+    clear_process_cache,
+    default_workers,
+    process_shared,
+    structures_key,
+    warm_process_cache,
+)
+from repro.sim.batch.traffic import _FAR, TrafficMatrix
+from repro.sim.engine import build_network
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_cache():
+    clear_process_cache()
+    yield
+    clear_process_cache()
+
+
+class TestSharedStructures:
+    def test_first_network_donates_later_adopt(self, small_cfg):
+        shared = SharedStructures()
+        donor = build_network(small_cfg, get_scheme("escapevc"),
+                              shared=shared)
+        assert shared.mesh is donor.mesh
+        assert shared.route_memos is not None
+        adopter = build_network(small_cfg, get_scheme("escapevc"),
+                                shared=shared)
+        assert adopter.mesh is donor.mesh
+        for a, b in zip(adopter.routers, donor.routers):
+            assert a._mv_memo is b._mv_memo
+
+    def test_claim_rejects_different_identity(self, small_cfg):
+        shared = SharedStructures()
+        build_network(small_cfg, get_scheme("escapevc"), shared=shared)
+        with pytest.raises(ValueError, match="reused with"):
+            build_network(small_cfg, get_scheme("fastpass", n_vcs=4),
+                          shared=shared)
+
+    def test_claim_rejects_different_mesh_size(self, small_cfg):
+        shared = SharedStructures()
+        build_network(small_cfg, get_scheme("escapevc"), shared=shared)
+        bigger = small_cfg.with_(rows=8, cols=8)
+        with pytest.raises(ValueError):
+            build_network(bigger, get_scheme("escapevc"), shared=shared)
+
+    def test_get_or_build_builds_once(self):
+        shared = SharedStructures()
+        calls = []
+        a = shared.get_or_build("k", lambda: calls.append(1) or "v")
+        b = shared.get_or_build("k", lambda: calls.append(1) or "other")
+        assert a == b == "v"
+        assert len(calls) == 1
+
+    def test_fastpass_geometry_is_shared(self, small_cfg):
+        shared = SharedStructures()
+        donor = build_network(small_cfg, get_scheme("fastpass", n_vcs=2),
+                              shared=shared)
+        adopter = build_network(small_cfg,
+                                get_scheme("fastpass", n_vcs=2),
+                                shared=shared)
+        assert adopter.fastpass.schedule is donor.fastpass.schedule
+        assert adopter.fastpass._rt is donor.fastpass._rt
+
+    def test_structures_key_uses_post_configure_config(self, small_cfg):
+        scheme = get_scheme("fastpass", n_vcs=4)
+        key = structures_key(scheme.configure(small_cfg), scheme)
+        assert key != structures_key(
+            scheme.configure(small_cfg.with_(rows=8)), scheme)
+
+
+class TestProcessCache:
+    def test_no_ambient_sharing_without_warm(self, small_cfg):
+        scheme = get_scheme("escapevc")
+        assert process_shared(scheme.configure(small_cfg), scheme) is None
+
+    def test_warm_then_build_adopts(self, small_cfg):
+        warmed = warm_process_cache(small_cfg, [("escapevc", ())])
+        assert warmed == 1
+        scheme = get_scheme("escapevc")
+        shared = process_shared(scheme.configure(small_cfg), scheme)
+        assert shared is not None and shared.route_memos is not None
+        net = build_network(small_cfg, get_scheme("escapevc"))
+        assert net.mesh is shared.mesh
+
+    def test_warm_is_idempotent(self, small_cfg):
+        assert warm_process_cache(small_cfg, [("escapevc", ())]) == 1
+        assert warm_process_cache(small_cfg, [("escapevc", ())]) == 0
+
+    def test_warm_distinguishes_scheme_kwargs(self, small_cfg):
+        n = warm_process_cache(small_cfg, [
+            ("fastpass", (("n_vcs", 2),)),
+            ("fastpass", (("n_vcs", 4),)),
+        ])
+        assert n == 2
+
+    def test_clear_empties_cache(self, small_cfg):
+        warm_process_cache(small_cfg, [("escapevc", ())])
+        clear_process_cache()
+        scheme = get_scheme("escapevc")
+        assert process_shared(scheme.configure(small_cfg), scheme) is None
+
+    def test_explicit_shared_wins_over_cache(self, small_cfg):
+        warm_process_cache(small_cfg, [("escapevc", ())])
+        mine = SharedStructures()
+        net = build_network(small_cfg, get_scheme("escapevc"),
+                            shared=mine)
+        assert mine.mesh is net.mesh
+
+
+class TestDefaultWorkers:
+    def test_respects_affinity_mask(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert default_workers() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert default_workers() == 5
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert default_workers() == 1
+
+
+class _MeshOnly:
+    """The slice of Network that SyntheticTraffic.bind/_fill read."""
+
+    def __init__(self):
+        from repro.network.topology import Mesh
+        self.mesh = Mesh(4, 4)
+
+
+class TestTrafficMatrix:
+    def _traffics(self, n=2, rate=0.05, stop=None):
+        out = []
+        for i in range(n):
+            t = SyntheticTraffic("uniform", rate, seed=10 + i, stop=stop)
+            t.bind(_MeshOnly())
+            out.append(t)
+        return out
+
+    def test_counts_match_scalar_events(self):
+        ts = self._traffics()
+        m = TrafficMatrix(ts)
+        m.ensure(0, range(len(ts)))
+        for ri, t in enumerate(ts):
+            for c in range(t._chunk_start, t._chunk_end):
+                expected = len(t._by_cycle.get(c, ()))
+                assert m.quiet_at(ri, c) == (expected == 0)
+                assert m._counts[ri, c - t._chunk_start] == expected
+
+    def test_next_event_is_first_busy_cycle(self):
+        ts = self._traffics(n=1, rate=0.01)
+        m = TrafficMatrix(ts)
+        m.ensure(0, [0])
+        t = ts[0]
+        busy = sorted(t._by_cycle)
+        if busy:
+            assert m.next_event(0, 0) == busy[0]
+            # From just past the last event, the refill boundary is next.
+            assert m.next_event(0, busy[-1] + 1) == t._chunk_end
+        else:
+            assert m.next_event(0, 0) == t._chunk_end
+
+    def test_next_event_outside_chunk_is_conservative(self):
+        ts = self._traffics(n=1)
+        m = TrafficMatrix(ts)
+        m.ensure(0, [0])
+        end = ts[0]._chunk_end
+        assert m.next_event(0, end) == end  # unknown -> "busy now"
+
+    def test_stopped_source_is_far(self):
+        ts = self._traffics(n=1, rate=0.5, stop=10)
+        m = TrafficMatrix(ts)
+        m.ensure(0, [0])
+        assert m.next_event(0, 10) == _FAR
+        assert m.quiet_at(0, 10)
+
+    def test_ensure_refills_at_exact_boundary(self):
+        ts = self._traffics(n=1)
+        m = TrafficMatrix(ts)
+        m.ensure(0, [0])
+        end = ts[0]._chunk_end
+        m.ensure(end - 1, [0])
+        assert ts[0]._chunk_end == end      # not yet
+        m.ensure(end, [0])
+        assert ts[0]._chunk_start == end    # refilled exactly at end
+        assert ts[0]._chunk_end > end

@@ -138,3 +138,79 @@ class TestExecutorFaults:
         assert events[-1].finished == 3
         assert events[-1].total == 3
         assert events[-1].eta_s == 0.0
+
+
+class TestReplicaBatching:
+    """Seed-only-differing points fold into lock-step batch tasks with
+    unchanged per-point cache keys and bit-identical results."""
+
+    def _seeded(self, rates=(0.02,), seeds=(1, 2, 3)):
+        return [Point.make_seeded("escapevc", "uniform", r, seed=s)
+                for r in rates for s in seeds]
+
+    def test_grouped_by_signature(self, small_cfg):
+        from repro.campaign.executor import _Task
+        ex = CampaignExecutor(small_cfg)
+        pending = [(f"k{i}", p)
+                   for i, p in enumerate(self._seeded(rates=(0.02, 0.05)))]
+        tasks = ex._group(pending)
+        assert sorted(len(t.items) for t in tasks) == [3, 3]
+        assert all(isinstance(t, _Task) for t in tasks)
+
+    def test_batch_cap_chunks_large_groups(self, small_cfg, monkeypatch):
+        import repro.campaign.executor as executor
+        monkeypatch.setattr(executor, "BATCH_CAP", 4)
+        ex = CampaignExecutor(small_cfg)
+        pending = [(f"k{i}", p)
+                   for i, p in enumerate(self._seeded(seeds=range(6)))]
+        assert sorted(len(t.items) for t in ex._group(pending)) == [2, 4]
+
+    def test_non_replicable_points_stay_singletons(self, small_cfg):
+        ex = CampaignExecutor(small_cfg)
+        pts = [Point.make_app("escapevc", "pagerank", txns=5, seed=1),
+               Point.make_stress("escapevc")]
+        tasks = ex._group([(f"k{i}", p) for i, p in enumerate(pts)])
+        assert [len(t.items) for t in tasks] == [1, 1]
+
+    def test_results_match_scalar_and_are_cached_per_point(
+            self, small_cfg, tmp_cache_dir):
+        from repro.campaign.worker import execute_point
+        points = self._seeded()
+        cache = RunCache(tmp_cache_dir)
+        ex = CampaignExecutor(small_cfg, cache=cache, processes=1)
+        got = ex.run(points)
+        assert ex.summary["batched"] == 3
+        assert ex.summary["computed"] == 3
+        for point, res in zip(points, got):
+            ref = execute_point(point, small_cfg)
+            assert res.avg_latency == ref.avg_latency
+            assert res.ejected == ref.ejected
+        again = CampaignExecutor(small_cfg, cache=cache, processes=1)
+        rerun = again.run(points)
+        assert again.summary["cached"] == 3
+        assert [r.ejected for r in rerun] == [r.ejected for r in got]
+
+    def test_env_escape_hatch_disables_batching(self, small_cfg,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_NO_BATCH", "1")
+        ex = CampaignExecutor(small_cfg, processes=1)
+        ex.run(self._seeded(seeds=(1, 2)))
+        assert ex.summary["batched"] == 0
+
+    def test_auto_batch_false_disables_batching(self, small_cfg):
+        ex = CampaignExecutor(small_cfg, processes=1, auto_batch=False)
+        ex.run(self._seeded(seeds=(1, 2)))
+        assert ex.summary["batched"] == 0
+
+    def test_pool_size_respects_affinity(self, monkeypatch):
+        """The fork pool never launches more workers than the affinity
+        mask allows, even when more tasks (or a larger --jobs) ask."""
+        import repro.sim.batch.shared as shared
+        from repro.campaign.executor import _pool_size
+        monkeypatch.setattr(shared, "default_workers", lambda: 2)
+        assert _pool_size(8, 10) == 2       # affinity caps the request
+        assert _pool_size(None, 10) == 2    # and the one-per-task default
+        assert _pool_size(None, 1) == 1     # never more than tasks
+        assert _pool_size(1, 10) == 1       # explicit request honoured
+        monkeypatch.setattr(shared, "default_workers", lambda: 64)
+        assert _pool_size(None, 3) == 3

@@ -72,3 +72,59 @@ class TestExecution:
         results = parallel_sweep(pts, small_cfg, processes=8)
         assert len(results) == 1
         assert results[0].ejected > 0
+
+
+class TestSeededPoints:
+    def test_make_seeded_carries_seed_in_meta(self):
+        p = Point.make_seeded("fastpass", "uniform", 0.05, seed=11,
+                              n_vcs=4)
+        assert dict(p.meta) == {"seed": 11}
+        assert dict(p.scheme_kwargs) == {"n_vcs": 4}
+        q = Point.from_json(p.to_json())
+        assert q == p
+
+    def test_seed_is_part_of_identity(self):
+        a = Point.make_seeded("fastpass", "uniform", 0.05, seed=1)
+        b = Point.make_seeded("fastpass", "uniform", 0.05, seed=2)
+        assert a != b and hash(a) != hash(b)
+
+
+class TestReplicaSignature:
+    def _sig(self, p):
+        from repro.campaign.worker import replica_signature
+        return replica_signature(p)
+
+    def test_seed_replicas_share_a_signature(self):
+        sigs = {self._sig(Point.make_seeded("escapevc", "uniform", 0.05,
+                                            seed=s)) for s in (1, 2, 3)}
+        assert len(sigs) == 1 and None not in sigs
+
+    def test_rate_and_kwargs_split_signatures(self):
+        a = self._sig(Point.make_seeded("fastpass", "uniform", 0.05,
+                                        seed=1, n_vcs=2))
+        b = self._sig(Point.make_seeded("fastpass", "uniform", 0.05,
+                                        seed=1, n_vcs=4))
+        c = self._sig(Point.make_seeded("fastpass", "uniform", 0.10,
+                                        seed=1, n_vcs=2))
+        assert len({a, b, c}) == 3
+
+    def test_closed_loop_points_never_batch(self):
+        assert self._sig(Point.make_app("escapevc", "pagerank",
+                                        txns=5)) is None
+        assert self._sig(Point.make_stress("escapevc")) is None
+
+    def test_metrics_points_never_batch(self, monkeypatch):
+        p = Point("escapevc", (), "uniform", 0.05,
+                  (("metrics", 100), ("seed", 1)))
+        assert self._sig(p) is None
+        monkeypatch.setenv("REPRO_METRICS", "50")
+        assert self._sig(Point.make_seeded("escapevc", "uniform", 0.05,
+                                           seed=1)) is None
+
+    def test_fault_points_batch_by_plan(self):
+        from repro.fault.plan import FaultPlan
+        plan = FaultPlan(rate=0.002, start=100, stop=400, seed=3)
+        mk = lambda seed, pl: Point.make_fault(
+            "escapevc", "uniform", 0.05, plan=pl, seed=seed)
+        assert self._sig(mk(1, plan)) == self._sig(mk(2, plan))
+        assert self._sig(mk(1, plan)) != self._sig(mk(1, None))

@@ -172,3 +172,146 @@ class TestCLI:
                        "--compare", str(base)])
         assert rc == 0
         assert out.exists()
+
+
+def _hist_snap(created, total, points, label=None):
+    return {"kind": "repro-perf-snapshot", "created": created,
+            "label": label, "total_cycles_per_sec": total,
+            "points": points}
+
+
+class TestHistory:
+    def test_append_and_load_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        snap = _hist_snap("2026-08-06T10:00:00", 1500.0,
+                          [_point("p", 1500.0)], label="before")
+        path = perf.append_history(snap)
+        assert path == tmp_path / "perf" / "history.jsonl"
+        perf.append_history(_hist_snap("2026-08-06T11:00:00", 1800.0,
+                                       [_point("p", 1800.0)]))
+        entries = perf.load_history()
+        assert len(entries) == 2
+        assert entries[0]["label"] == "before"
+        assert entries[1]["total_cycles_per_sec"] == 1800.0
+        assert entries[0]["points"] == {"p": 1500.0}
+
+    def test_load_missing_history_is_empty(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert perf.load_history() == []
+
+    def test_print_trend_normalises_to_baseline(self, capsys):
+        base = _snap([_point("p", 1000.0)])
+        base["total_cycles_per_sec"] = 1000.0
+        entries = [
+            {"created": "t1", "label": None,
+             "total_cycles_per_sec": 1500.0, "points": {"p": 1500.0}},
+            {"created": "t2", "label": "slow",
+             "total_cycles_per_sec": 500.0, "points": {"p": 500.0}},
+        ]
+        perf.print_trend(entries, base)
+        out = capsys.readouterr().out
+        assert "1.50x" in out and "0.50x" in out and "slow" in out
+
+    def test_print_trend_without_baseline(self, capsys):
+        perf.print_trend([{"created": "t1", "label": None,
+                           "total_cycles_per_sec": 100.0,
+                           "points": {}}], None)
+        assert "t1" in capsys.readouterr().out
+
+    def test_trend_cli_prints_history(self, tmp_path, monkeypatch,
+                                      capsys):
+        from repro.experiments import cli
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        perf.append_history(_hist_snap("t1", 1200.0,
+                                       [_point("p", 1200.0)]))
+        base = tmp_path / "base.json"
+        snap = _snap([_point("p", 1000.0)])
+        snap["total_cycles_per_sec"] = 1000.0
+        base.write_text(json.dumps(snap))
+        rc = cli.main(["perf", "trend", "--baseline", str(base)])
+        assert rc == 0
+        assert "1.20x" in capsys.readouterr().out
+
+    def test_snapshot_cli_appends_history(self, tmp_path, monkeypatch):
+        from repro.experiments import cli
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        fake = _snap([_point("p", 1000.0)])
+        fake.update(label=None, total_wall_s=0.1,
+                    total_cycles_per_sec=1000.0, created="t0")
+        monkeypatch.setattr(perf, "run_snapshot",
+                            lambda repeat=1, label=None: fake)
+        rc = cli.main(["perf", "snapshot",
+                       "--out", str(tmp_path / "n.json")])
+        assert rc == 0
+        assert len(perf.load_history()) == 1
+        rc = cli.main(["perf", "snapshot", "--no-history",
+                       "--out", str(tmp_path / "n2.json")])
+        assert rc == 0
+        assert len(perf.load_history()) == 1
+
+
+class TestBatchSnapshot:
+    def _shrink(self, monkeypatch, tmp_path):
+        from repro.config import SimConfig
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.setattr(perf, "SNAPSHOT_POINTS",
+                            [("escapevc", {}, "uniform", 0.02),
+                             ("escapevc", {}, "uniform", 0.05)])
+        monkeypatch.setattr(
+            perf, "snapshot_config",
+            lambda: SimConfig(rows=4, cols=4, warmup_cycles=50,
+                              measure_cycles=150, drain_cycles=300))
+
+    def test_batch_ab_is_bit_identical_and_aggregates(self, tmp_path,
+                                                      monkeypatch):
+        self._shrink(monkeypatch, tmp_path)
+        snap = perf.run_batch_snapshot(replicas=3, repeat=1)
+        assert snap["kind"] == "repro-batch-snapshot"
+        assert snap["replicas"] == 3
+        assert len(snap["points"]) == 2
+        assert all(p["identical"] for p in snap["points"])
+        assert snap["lowload_speedup"] > 0
+        assert snap["overall_speedup"] > 0
+
+    def test_batch_cli_writes_and_gates(self, tmp_path, monkeypatch,
+                                        capsys):
+        from repro.experiments import cli
+        self._shrink(monkeypatch, tmp_path)
+        fake_main = _snap([_point("p", 1000.0)])
+        fake_main.update(label=None, total_wall_s=0.1,
+                         total_cycles_per_sec=1000.0, created="t0")
+        monkeypatch.setattr(perf, "run_snapshot",
+                            lambda repeat=1, label=None: fake_main)
+        fake_batch = {"kind": "repro-batch-snapshot", "points": [],
+                      "lowload_speedup": 1.6, "overall_speedup": 1.4}
+        monkeypatch.setattr(perf, "run_batch_snapshot",
+                            lambda replicas=8, repeat=3: fake_batch)
+        out = tmp_path / "batch.json"
+        rc = cli.main(["perf", "snapshot", "--replicas", "4",
+                       "--out", str(tmp_path / "n.json"),
+                       "--batch-out", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["lowload_speedup"] == 1.6
+        fake_batch["lowload_speedup"] = 1.1
+        rc = cli.main(["perf", "snapshot", "--replicas", "4",
+                       "--out", str(tmp_path / "n2.json"),
+                       "--batch-out", str(out),
+                       "--batch-fail-under", "1.25"])
+        assert rc == 1
+        assert "BATCH REGRESSION" in capsys.readouterr().out
+
+    def test_drift_raises(self, tmp_path, monkeypatch):
+        """A batch result that diverges from its scalar twin is a hard
+        error, not a gate ratio."""
+        self._shrink(monkeypatch, tmp_path)
+        from repro.sim.batch.engine import ReplicaBatch
+        orig = ReplicaBatch.run
+
+        def corrupt(self):
+            out = orig(self)
+            out[0].ejected += 1
+            return out
+
+        monkeypatch.setattr(ReplicaBatch, "run", corrupt)
+        with pytest.raises(RuntimeError, match="drifted"):
+            perf.run_batch_snapshot(replicas=2, repeat=1)

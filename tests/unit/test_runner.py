@@ -109,3 +109,108 @@ class TestSaturation:
         sat = saturation_throughput("escapevc", "uniform", small_cfg,
                                     lo=0.02, hi=0.6, iters=3)
         assert 0.02 <= sat < 0.6
+
+
+def _fake_curve(sat_rate, zero_lat=10.0, zero_nan=False, probes=None):
+    """A deterministic latency curve: flat below ``sat_rate``, cliff at
+    and above it.  Records every probed rate in ``probes``."""
+
+    def rp(rate):
+        if probes is not None:
+            probes.append(rate)
+        res = RunResult(scheme="fake")
+        if rate >= sat_rate:
+            res.avg_latency = 100.0 * zero_lat
+            res.extra = {"measured_generated": 100, "undelivered": 60}
+        else:
+            res.avg_latency = float("nan") if zero_nan and rate <= 0.011 \
+                else zero_lat * (1.0 + rate)
+            res.extra = {"measured_generated": 100, "undelivered": 0}
+        res.extra["rate"] = rate
+        return res
+
+    return rp
+
+
+class TestSweepEarlyStop:
+    """sweep_latency must cut off at the first badly saturated point
+    instead of simulating the rest of the (equally saturated) grid."""
+
+    def _patch(self, monkeypatch, sat_rate, probes):
+        import repro.sim.runner as runner
+        fake = _fake_curve(sat_rate, probes=probes)
+        monkeypatch.setattr(runner, "run_point",
+                            lambda scheme, pattern, rate, cfg: fake(rate))
+
+    def test_stops_at_first_saturated_point(self, monkeypatch, small_cfg):
+        probes = []
+        self._patch(monkeypatch, sat_rate=0.10, probes=probes)
+        out = sweep_latency("escapevc", "uniform",
+                            [0.02, 0.06, 0.10, 0.14, 0.18], small_cfg)
+        assert [r.extra["rate"] for r in out] == [0.02, 0.06, 0.10]
+        assert probes == [0.02, 0.06, 0.10]   # 0.14/0.18 never simulated
+
+    def test_deadlock_also_stops(self, monkeypatch, small_cfg):
+        import repro.sim.runner as runner
+
+        def rp(scheme, pattern, rate, cfg):
+            res = RunResult(scheme="fake", deadlocked=rate >= 0.05)
+            res.extra = {"measured_generated": 100, "undelivered": 0,
+                         "rate": rate}
+            return res
+
+        monkeypatch.setattr(runner, "run_point", rp)
+        out = sweep_latency("escapevc", "uniform",
+                            [0.02, 0.05, 0.08], small_cfg)
+        assert len(out) == 2 and out[-1].deadlocked
+
+    def test_clean_curve_runs_every_rate(self, monkeypatch, small_cfg):
+        probes = []
+        self._patch(monkeypatch, sat_rate=9.9, probes=probes)
+        out = sweep_latency("escapevc", "uniform",
+                            [0.02, 0.06, 0.10], small_cfg)
+        assert len(out) == 3 and probes == [0.02, 0.06, 0.10]
+
+
+class TestSaturationBisection:
+    """saturation_throughput against a synthetic curve with a known
+    cliff: the search must bracket the cliff monotonically and converge
+    to it from below."""
+
+    def test_converges_below_the_cliff(self, small_cfg):
+        sat = saturation_throughput(
+            "escapevc", "uniform", small_cfg, lo=0.01, hi=0.7, iters=7,
+            run_point_fn=_fake_curve(0.30))
+        assert sat < 0.30                       # never reports past it
+        assert sat > 0.30 - (0.7 - 0.01) / 2 ** 5   # and got close
+
+    def test_bracket_is_monotone(self, small_cfg):
+        probes = []
+        saturation_throughput(
+            "escapevc", "uniform", small_cfg, lo=0.01, hi=0.7, iters=6,
+            run_point_fn=_fake_curve(0.30, probes=probes))
+        # After the zero-load and hi probes, every probe must stay inside
+        # the current bracket: the good side only rises, the saturated
+        # side only falls.
+        good, hi = 0.01, 0.7
+        for rate in probes[2:]:
+            assert good < rate < hi
+            if rate >= 0.30:
+                hi = rate
+            else:
+                good = rate
+
+    def test_unsaturated_hi_returns_hi(self, small_cfg):
+        sat = saturation_throughput(
+            "escapevc", "uniform", small_cfg, lo=0.01, hi=0.4, iters=5,
+            run_point_fn=_fake_curve(0.90))
+        assert sat == 0.4
+
+    def test_nan_zero_load_widens_reference(self, small_cfg):
+        """A zero-load probe that delivered nothing (NaN latency) must
+        not poison the criterion: the reference widens to 50.0 and the
+        search still finds the cliff."""
+        sat = saturation_throughput(
+            "escapevc", "uniform", small_cfg, lo=0.01, hi=0.7, iters=7,
+            run_point_fn=_fake_curve(0.30, zero_nan=True))
+        assert 0.20 < sat < 0.30
