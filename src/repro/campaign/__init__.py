@@ -62,6 +62,12 @@ def run_points(points: list[Point], cfg: SimConfig, *,
         processes = ctx.jobs
     if progress is None:
         progress = ctx.progress
+    if ctx.fabric_session is not None:
+        from repro.fabric.executor import FabricExecutor
+        fx = FabricExecutor(cfg, cache=cache, store=store, retry=retry,
+                            progress=progress,
+                            session=ctx.fabric_session)
+        return fx.run(points)
     ex = CampaignExecutor(cfg, cache=cache, store=store,
                           processes=processes, retry=retry,
                           progress=progress)

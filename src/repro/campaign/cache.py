@@ -37,7 +37,11 @@ def code_version() -> str:
         h = hashlib.sha256()
         for path in sorted(root.rglob("*.py")):
             rel = path.relative_to(root).as_posix()
-            if rel.startswith("campaign/"):
+            # Orchestration layers are excluded from the salt: they decide
+            # where and when a point runs, never what it computes (the
+            # fabric's bit-identity is differentially enforced), so
+            # touching them must keep the cache warm.
+            if rel.startswith(("campaign/", "fabric/")):
                 continue
             h.update(rel.encode())
             h.update(path.read_bytes())

@@ -30,6 +30,10 @@ class CampaignContext:
     salt: str | None = None          # None -> code_version()
     campaign: str | None = None      # active campaign name, if any
     progress: object = None          # default executor progress callback
+    #: live :class:`~repro.fabric.executor.FabricSession`; when set,
+    #: ``run_points`` routes execution through the fabric coordinator
+    #: (remote/loopback workers) instead of the local process pool.
+    fabric_session: object = None
     _cache: object = field(default=None, repr=False)
     _stores: dict = field(default_factory=dict, repr=False)
 

@@ -97,6 +97,29 @@ class _Running:
     started: float = field(default_factory=time.monotonic)
 
 
+def group_items(pending: list, auto_batch: bool) -> list[list]:
+    """Partition ``[(key, Point), ...]`` into units of worker execution:
+    seed replicas sharing a :func:`~repro.campaign.worker
+    .replica_signature` fold into groups of up to :data:`BATCH_CAP`,
+    everything else stays a singleton.  Per-point cache keys are
+    untouched — only the unit of execution changes.  Shared by the local
+    executor and the fabric coordinator, so a distributed campaign
+    batches exactly like a local one."""
+    singles: list[list] = []
+    groups: dict = {}
+    for key, point in pending:
+        sig = replica_signature(point) if auto_batch else None
+        if sig is None:
+            singles.append([(key, point)])
+        else:
+            groups.setdefault(sig, []).append((key, point))
+    out = singles
+    for items in groups.values():
+        for i in range(0, len(items), BATCH_CAP):
+            out.append(items[i:i + BATCH_CAP])
+    return out
+
+
 def _pool_size(requested: int | None, n_tasks: int) -> int:
     """Worker processes to launch: the request (default one per task),
     never more than there are tasks, capped by the CPU-affinity mask —
@@ -189,21 +212,9 @@ class CampaignExecutor:
         return [results[key] for key in keys]
 
     def _group(self, pending) -> list[_Task]:
-        """Fold seed replicas into batch tasks; everything else stays a
-        singleton.  Per-point cache keys are untouched — only the unit
-        of worker execution changes."""
-        tasks: list[_Task] = []
-        groups: dict = {}
-        for key, point in pending:
-            sig = replica_signature(point) if self.auto_batch else None
-            if sig is None:
-                tasks.append(_Task([(key, point)]))
-            else:
-                groups.setdefault(sig, []).append((key, point))
-        for items in groups.values():
-            for i in range(0, len(items), BATCH_CAP):
-                tasks.append(_Task(items[i:i + BATCH_CAP]))
-        return tasks
+        """Fold seed replicas into batch tasks via :func:`group_items`."""
+        return [_Task(items)
+                for items in group_items(pending, self.auto_batch)]
 
     def _serial_ok(self, n_tasks: int) -> bool:
         if self.processes == 1:

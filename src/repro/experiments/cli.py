@@ -7,6 +7,10 @@ Usage::
     repro-experiments campaign run fig7 fig8 --full
     repro-experiments campaign status
     repro-experiments campaign clean --cache
+    repro-experiments fig7 --fabric 4        # loopback fabric, 4 workers
+    repro-experiments fabric serve fig7 fig8 --port 8750
+    repro-experiments fabric work http://coordinator:8750
+    repro-experiments fabric status http://coordinator:8750
     repro-experiments faults sweep --modes cut --rates 0.05
     repro-experiments obs report --scheme fastpass --rate 0.1
     repro-experiments obs export --format prometheus --out metrics.prom
@@ -48,6 +52,11 @@ def _add_common_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump every raw result dict to a JSON "
                              "file")
+    parser.add_argument("--fabric", type=int, metavar="N", default=None,
+                        help="execute through a loopback campaign fabric: "
+                             "a coordinator on localhost plus N pull "
+                             "workers (differentially bit-identical to "
+                             "the local executor)")
 
 
 def _resolve_names(parser, experiments) -> list[str]:
@@ -88,9 +97,7 @@ def _run_experiments(names: list[str], args,
 
 # -- campaign subcommands ----------------------------------------------
 
-def _campaign_run(parser, args) -> int:
-    names = _resolve_names(parser, args.experiments)
-
+def _progress_printer():
     last = {"t": 0.0}
 
     def progress(p):
@@ -103,15 +110,71 @@ def _campaign_run(parser, args) -> int:
               f"computed={p.done} failed={p.failed} "
               f"running={p.running} ETA {eta}", file=sys.stderr)
 
+    return progress
+
+
+def _with_fabric(args, fn) -> int:
+    """Run ``fn`` inside a loopback fabric session when ``--fabric N``
+    was given; otherwise run it directly."""
+    workers = getattr(args, "fabric", None)
+    if not workers:
+        return fn()
     ctx = campaign_context.get_context()
-    ctx.progress = progress
+    if args.no_cache:
+        ctx.enabled = False
+    from repro.fabric.executor import FabricSession
+    session = FabricSession(cache=ctx.cache(), workers=workers)
+    print(f"loopback fabric: coordinator {session.url}, "
+          f"{workers} workers", file=sys.stderr)
+    ctx.fabric_session = session
     try:
-        return _run_experiments(names, args, track_campaign=True)
+        return fn()
+    finally:
+        ctx.fabric_session = None
+        session.close()
+
+
+def _campaign_run(parser, args) -> int:
+    names = _resolve_names(parser, args.experiments)
+    ctx = campaign_context.get_context()
+    ctx.progress = _progress_printer()
+    try:
+        return _with_fabric(
+            args, lambda: _run_experiments(names, args,
+                                           track_campaign=True))
     finally:
         ctx.progress = None
 
 
+def _print_live_status(url: str) -> int:
+    """Live view from a fabric coordinator's results service."""
+    from repro.fabric.httpd import http_json
+    s = http_json("GET", url.rstrip("/") + "/status")
+    counts = s.get("counts", {})
+    eta = s.get("eta_s")
+    print(f"{s.get('campaign') or 'fabric'}: state={s.get('state')} "
+          f"drained={s.get('drained')} elapsed={s.get('elapsed_s')}s")
+    print("  points: " + ", ".join(
+        f"{k}={v}" for k, v in counts.items() if v))
+    print(f"  throughput: {s.get('points_per_s', 0)} pts/s, "
+          f"ETA {'?' if eta is None else f'{eta:.0f}s'}")
+    q = s.get("queue", {})
+    print("  queue: " + ", ".join(f"{k}={v}" for k, v in q.items() if v))
+    workers = s.get("workers", {})
+    if workers:
+        print(f"  {'worker':28s} {'leases':>7s} {'points':>7s} "
+              f"{'fail':>5s} {'pts/s':>8s} {'seen':>8s}")
+        for wid in sorted(workers):
+            w = workers[wid]
+            print(f"  {wid[:28]:28s} {w['leases']:7d} {w['points']:7d} "
+                  f"{w['failures']:5d} {w['points_per_s']:8.2f} "
+                  f"{w['last_seen_s_ago']:7.1f}s")
+    return 0
+
+
 def _campaign_status(args) -> int:
+    if getattr(args, "url", None):
+        return _print_live_status(args.url)
     ctx = campaign_context.get_context()
     names = args.names or sorted(
         p.stem for p in ctx.campaign_dir.glob("*.sqlite"))
@@ -128,6 +191,18 @@ def _campaign_status(args) -> int:
         total = sum(counts.values())
         print(f"{name}: {total} points — " + ", ".join(
             f"{status}={n}" for status, n in counts.items() if n))
+        # ETA from the store's own completion transitions: correct no
+        # matter who is executing — the local pool or remote fabric
+        # workers holding leases ('running' counts them in-flight).
+        remaining = counts["pending"] + counts["running"]
+        finished, span = store.throughput()
+        if remaining and finished:
+            rate = finished / span
+            print(f"    ETA {remaining / rate:.0f}s at {rate:.2f} pts/s "
+                  f"({counts['running']} in flight)")
+        elif remaining:
+            print(f"    ETA unknown — {remaining} points remaining, "
+                  "no recent completions")
         for key, error, attempts in store.failures()[:10]:
             print(f"    failed {key[:12]}… after {attempts} attempts: "
                   f"{error}")
@@ -172,6 +247,10 @@ def _campaign_main(argv: list[str]) -> int:
                               help="show per-campaign point status")
     p_status.add_argument("names", nargs="*",
                           help="campaign names (default: all recorded)")
+    p_status.add_argument("--url", default=None, metavar="URL",
+                          help="query a live fabric coordinator instead "
+                               "of local stores (per-worker throughput, "
+                               "lease-aware ETA)")
 
     p_clean = sub.add_parser("clean", help="delete campaign stores "
                                            "(and optionally the cache)")
@@ -186,6 +265,111 @@ def _campaign_main(argv: list[str]) -> int:
     if args.cmd == "status":
         return _campaign_status(args)
     return _campaign_clean(args)
+
+
+# -- fabric subcommands -------------------------------------------------
+
+def _fabric_serve(parser, args) -> int:
+    import os
+    from pathlib import Path
+
+    names = _resolve_names(parser, args.experiments)
+    ctx = campaign_context.get_context()
+    if args.no_cache:
+        ctx.enabled = False
+    from repro.campaign.executor import RetryPolicy
+    from repro.fabric.executor import FabricSession
+    session = FabricSession(
+        cache=ctx.cache(),
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        lease_ttl_s=args.lease_ttl,
+        host=args.host, port=args.port, workers=args.workers)
+    print(f"fabric coordinator serving on {session.url} "
+          f"with {args.workers} local workers")
+    print(f"  pull work:   repro-experiments fabric work {session.url}")
+    print(f"  live status: repro-experiments fabric status {session.url}")
+    ctx.fabric_session = session
+    ctx.progress = _progress_printer()
+    try:
+        return _run_experiments(names, args, track_campaign=True)
+    finally:
+        ctx.fabric_session = None
+        ctx.progress = None
+        status = session.coordinator.status()
+        session.close()
+        out = Path(os.environ.get("REPRO_RESULTS_DIR",
+                                  "results")) / "fabric"
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "status_final.json"
+        path.write_text(json.dumps(status, indent=2, sort_keys=True)
+                        + "\n")
+        print(f"final fabric status written to {path}", file=sys.stderr)
+
+
+def _fabric_work(args) -> int:
+    from repro.fabric.worker import FabricWorker
+    worker = FabricWorker(args.url, worker_id=args.id,
+                          poll_s=args.poll, max_tasks=args.max_tasks)
+    print(f"worker {worker.worker_id} pulling from {worker.url}")
+    stats = worker.run()
+    print("coordinator shut down; worker exiting — " + ", ".join(
+        f"{k}={v}" for k, v in stats.items()))
+    return 0
+
+
+def _fabric_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments fabric",
+        description="Distributed campaign fabric: serve experiments as a "
+                    "leased work queue; pull-based workers execute the "
+                    "unchanged datapath and POST results back.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_serve = sub.add_parser(
+        "serve", help="run experiments as a fabric coordinator "
+                      "(workers pull points over HTTP)")
+    p_serve.add_argument("experiments", nargs="+",
+                         help=f"experiment ids ({', '.join(ALL)}) or "
+                              "'all'")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1; use "
+                              "0.0.0.0 for multi-host fleets)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="port (default: OS-assigned, printed at "
+                              "startup)")
+    p_serve.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="also spawn N local loopback workers "
+                              "(default: 0 — remote workers only)")
+    p_serve.add_argument("--lease-ttl", type=float, default=120.0,
+                         metavar="S",
+                         help="lease deadline; an unfinished lease is "
+                              "re-queued after this long (default: 120)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="retry budget per task, counting expired "
+                              "leases (default: 3)")
+    _add_common_flags(p_serve)
+
+    p_work = sub.add_parser(
+        "work", help="pull and execute leased points from a coordinator")
+    p_work.add_argument("url", help="coordinator base URL "
+                                    "(e.g. http://host:8750)")
+    p_work.add_argument("--id", default=None,
+                        help="worker id (default: <hostname>-<pid>)")
+    p_work.add_argument("--poll", type=float, default=0.25, metavar="S",
+                        help="idle polling interval (default: 0.25s)")
+    p_work.add_argument("--max-tasks", type=int, default=1, metavar="N",
+                        help="tasks per lease request (default: 1)")
+
+    p_stat = sub.add_parser(
+        "status", help="live status of a running coordinator")
+    p_stat.add_argument("url", help="coordinator base URL")
+
+    args = parser.parse_args(argv)
+    if args.cmd == "serve":
+        return _fabric_serve(parser, args)
+    if args.cmd == "work":
+        return _fabric_work(args)
+    return _print_live_status(args.url)
 
 
 # -- faults subcommands -------------------------------------------------
@@ -273,6 +457,8 @@ def main(argv=None) -> int:
         return _campaign_main(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_main(argv[1:])
+    if argv and argv[0] == "fabric":
+        return _fabric_main(argv[1:])
     if argv and argv[0] == "perf":
         from repro.experiments import perf
         return perf.main(argv[1:])
@@ -288,7 +474,7 @@ def main(argv=None) -> int:
     _add_common_flags(parser)
     args = parser.parse_args(argv)
     names = _resolve_names(parser, args.experiments)
-    return _run_experiments(names, args)
+    return _with_fabric(args, lambda: _run_experiments(names, args))
 
 
 def _jsonable(obj):

@@ -470,14 +470,29 @@ def main(argv: list[str]) -> int:
                               "the history before printing")
     p_trend.add_argument("--label", default=None,
                          help="label for the fresh snapshot (with --run)")
+    p_trend.add_argument("--url", default=None, metavar="URL",
+                         help="fetch the history from a fabric results "
+                              "service (GET <url>/perf/trend) instead of "
+                              "the local history.jsonl")
     args = parser.parse_args(argv)
 
     if args.cmd == "trend":
         if args.run:
+            if args.url:
+                parser.error("--run records locally; it cannot be "
+                             "combined with --url")
             print("perf trend: timing a fresh snapshot")
             snap = run_snapshot(repeat=1, label=args.label)
             append_history(snap, args.history)
-        entries = load_history(args.history)
+        if args.url:
+            from repro.fabric.httpd import http_json
+            remote = http_json(
+                "GET", args.url.rstrip("/") + "/perf/trend")
+            print(f"  history served by {args.url} "
+                  f"({remote.get('history')})")
+            entries = remote.get("entries", [])
+        else:
+            entries = load_history(args.history)
         base = None
         if args.baseline and Path(args.baseline).exists():
             base = json.loads(Path(args.baseline).read_text())

@@ -1,0 +1,414 @@
+"""The fabric coordinator: work-queue API plus read-side results service.
+
+One asyncio HTTP server (one background thread) exposes two faces:
+
+* the **work-queue API** workers pull from —
+
+  - ``POST /lease``     ``{worker, max_tasks}`` → granted leases (each a
+    task: one point or one replica batch, plus its config), or
+    ``idle``/``shutdown``;
+  - ``POST /complete``  ``{lease_id, worker, ok, results|error,
+    artifacts}`` → a disposition (``ok``/``late``/``duplicate``/
+    ``requeued``/``failed``/``unknown``); completions are idempotent —
+    see :mod:`repro.fabric.queue` for the invariants;
+
+* the **results service** many concurrent readers can hit while a
+  campaign runs —
+
+  - ``GET /status``       counts, ETA, per-worker throughput;
+  - ``GET /result/<key>`` one cached/collected result by content address;
+  - ``GET /metrics``      the fabric's own metrics in the Prometheus text
+    format (rendered by the existing obs exporter);
+  - ``GET /perf/trend``   the ``results/perf/history.jsonl`` trajectory;
+  - ``GET /healthz``      liveness probe.
+
+The coordinator persists through the *existing* campaign plumbing: every
+accepted completion goes into the content-addressed
+:class:`~repro.campaign.cache.RunCache` and the campaign
+:class:`~repro.campaign.store.CampaignStore` exactly as a local executor
+run would, so ``campaign status``, resume, and cache hits all keep
+working unchanged.  Worker-side metrics artifacts ride back in the
+completion payload and land under the coordinator's
+``results/metrics/``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.campaign import cache as cache_mod
+from repro.campaign.executor import RetryPolicy
+from repro.campaign.worker import failed_result
+from repro.fabric import protocol, queue as queue_mod
+from repro.fabric.httpd import HttpError, JsonHttpServer
+
+#: sliding window (seconds) over which throughput/ETA are measured
+RATE_WINDOW_S = 60.0
+
+
+@dataclass
+class _WorkerStats:
+    granted: int = 0
+    points: int = 0
+    failures: int = 0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+    window: deque = field(default_factory=deque)  # (t, n_points)
+
+    def rate(self, now: float) -> float:
+        while self.window and self.window[0][0] < now - RATE_WINDOW_S:
+            self.window.popleft()
+        if not self.window:
+            return 0.0
+        span = max(now - self.window[0][0], 1e-9)
+        return sum(n for _, n in self.window) / span
+
+    def to_json(self, now: float) -> dict:
+        return {
+            "leases": self.granted,
+            "points": self.points,
+            "failures": self.failures,
+            "points_per_s": round(self.rate(now), 4),
+            "last_seen_s_ago": round(now - self.last_seen, 3),
+        }
+
+
+class Coordinator:
+    """Serves tasks to pulling workers and collects their results.
+
+    Thread model: HTTP handlers run on the server thread, ``submit``/
+    ``collect``/``tick`` on the caller's; one re-entrant lock guards the
+    queue, the results map and the worker stats.  Handlers only do queue
+    bookkeeping and small sqlite/cache writes, so holding the lock
+    across a handler is microseconds.
+    """
+
+    def __init__(self, cache=None, retry: RetryPolicy | None = None,
+                 lease_ttl_s: float = 60.0, campaign: str | None = None):
+        self.cache = cache
+        self.retry = retry or RetryPolicy()
+        self.queue = queue_mod.LeaseQueue(self.retry, lease_ttl_s)
+        self.campaign = campaign
+        self.state = protocol.STATE_OK       # flips to shutdown at close
+        self.results: dict[str, object] = {}  # key -> RunResult
+        self.started = time.monotonic()
+        self._lock = threading.RLock()
+        self._workers: dict[str, _WorkerStats] = {}
+        self._dismissed: set[str] = set()    # saw the shutdown state
+        self._window: deque = deque()        # (t, n_points) completions
+        self._server: JsonHttpServer | None = None
+        self._registry = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> str:
+        self._server = JsonHttpServer(self.handle, host, port)
+        return self._server.start()
+
+    @property
+    def url(self) -> str:
+        if self._server is None:
+            raise RuntimeError("coordinator not started")
+        return self._server.url
+
+    def shutdown(self) -> None:
+        """Tell pulling workers to exit; keep serving until stopped."""
+        self.state = protocol.STATE_SHUTDOWN
+
+    def stop(self) -> None:
+        self.shutdown()
+        if self._server is not None:
+            self._server.stop()
+
+    # -- feeding (caller thread) ---------------------------------------
+    def submit(self, grouped_items: list[list], cfg, store=None) -> None:
+        """Queue tasks: ``grouped_items`` is a list of item lists, each
+        ``[(key, Point), ...]`` — singletons or replica groups, exactly
+        as :func:`repro.campaign.executor.group_tasks` produces them."""
+        cfg_json = protocol.cfg_to_json(cfg)
+        with self._lock:
+            for items in grouped_items:
+                self.queue.add(queue_mod.Task(
+                    tid=items[0][0], items=list(items), cfg_json=cfg_json,
+                    context={"store": store, "cfg": cfg}))
+
+    def seed_results(self, results: dict) -> None:
+        """Pre-fill results resolved before serving (cache hits), so the
+        read-side can answer for them too."""
+        with self._lock:
+            self.results.update(results)
+
+    def tick(self) -> None:
+        """Expire overdue leases (also done lazily on every lease)."""
+        now = time.monotonic()
+        with self._lock:
+            for disposition, task in self.queue.expire(now):
+                self._settle_failure(task, disposition)
+
+    def expire_dead_worker(self, worker: str) -> None:
+        """A supervisor saw ``worker``'s process die: charge and requeue
+        its live leases immediately instead of waiting out the TTL."""
+        now = time.monotonic()
+        with self._lock:
+            for disposition, task in self.queue.expire_worker(worker, now):
+                self._settle_failure(task, disposition)
+
+    def workers_pending_dismissal(self, exclude=(),
+                                  window_s: float = 10.0) -> list[str]:
+        """Workers active within ``window_s`` that have not yet seen the
+        shutdown state — a closing ``serve`` session lingers until this
+        empties so remote pullers exit promptly instead of burning their
+        connection-retry budget against a vanished server."""
+        now = time.monotonic()
+        with self._lock:
+            return [w for w, s in self._workers.items()
+                    if w not in exclude and w not in self._dismissed
+                    and now - s.last_seen <= window_s]
+
+    def live_lease_keys(self) -> set[str]:
+        with self._lock:
+            return self.queue.live_keys()
+
+    def release_leases(self) -> None:
+        """On shutdown: anything still out on a lease goes back to
+        ``pending`` in its store, so the next run resumes it instead of
+        treating it as running forever."""
+        with self._lock:
+            for lease in list(self.queue._leases.values()):
+                self._mark(lease.task, "pending")
+
+    def resolved(self, keys: list[str]) -> bool:
+        with self._lock:
+            return all(k in self.results for k in keys)
+
+    def collect(self, keys: list[str]) -> dict:
+        with self._lock:
+            return {k: self.results[k] for k in keys if k in self.results}
+
+    # -- HTTP dispatch (server thread) ----------------------------------
+    def handle(self, method: str, path: str, body):
+        if path == "/healthz":
+            return {"ok": True, "state": self.state,
+                    "version": protocol.PROTOCOL_VERSION}
+        if path == "/lease" and method == "POST":
+            return self._h_lease(body or {})
+        if path == "/complete" and method == "POST":
+            return self._h_complete(body or {})
+        if path == "/status":
+            return self.status()
+        if path.startswith("/result/"):
+            return self._h_result(path[len("/result/"):])
+        if path == "/metrics":
+            return self._h_metrics()
+        if path == "/perf/trend":
+            return self._h_trend()
+        raise HttpError(404, f"no such endpoint: {method} {path}")
+
+    # -- work-queue API -------------------------------------------------
+    def _h_lease(self, body: dict) -> dict:
+        version = body.get("version", 0)
+        if version != protocol.PROTOCOL_VERSION:
+            raise HttpError(
+                409, f"protocol version mismatch: coordinator speaks "
+                f"{protocol.PROTOCOL_VERSION}, worker sent {version}")
+        worker = str(body.get("worker") or "anonymous")
+        max_tasks = max(1, int(body.get("max_tasks", 1)))
+        now = time.monotonic()
+        with self._lock:
+            if self.state == protocol.STATE_SHUTDOWN:
+                self._dismissed.add(worker)
+                return {"state": protocol.STATE_SHUTDOWN}
+            for disposition, task in self.queue.expire(now):
+                self._settle_failure(task, disposition)
+            leases = self.queue.lease(worker, now, max_tasks)
+            stats = self._worker(worker, now)
+            stats.granted += len(leases)
+            for lease in leases:
+                self._mark(lease.task, "running")
+            if not leases:
+                return {"state": protocol.STATE_IDLE,
+                        "drained": self.queue.drained}
+            return {"state": protocol.STATE_OK,
+                    "leases": [protocol.lease_to_json(l) for l in leases]}
+
+    def _h_complete(self, body: dict) -> dict:
+        lease_id = body.get("lease_id")
+        worker = str(body.get("worker") or "anonymous")
+        if not lease_id:
+            raise HttpError(400, "completion without a lease_id")
+        now = time.monotonic()
+        with self._lock:
+            stats = self._worker(worker, now)
+            if body.get("ok"):
+                results = body.get("results") or []
+                expected = self.queue.task_of(lease_id)
+                if expected is not None and \
+                        len(results) != len(expected.items):
+                    # Malformed payload: charge a failed attempt (checked
+                    # *before* settling, so the task retries, not wedges
+                    # as done-with-no-results).
+                    disposition, task = self.queue.fail(
+                        lease_id, f"completion carried {len(results)} "
+                        f"results for {len(expected.items)} points", now)
+                    if task is not None:
+                        self._settle_failure(task, disposition)
+                    return {"disposition": disposition}
+                disposition, task = self.queue.complete(lease_id, now)
+                if task is not None:
+                    artifacts = self._store_artifacts(
+                        body.get("artifacts") or [])
+                    self._settle_ok(task, results, artifacts)
+                    stats.points += len(task.items)
+                    stats.window.append((now, len(task.items)))
+                    self._window.append((now, len(task.items)))
+            else:
+                error = str(body.get("error") or "worker reported failure")
+                disposition, task = self.queue.fail(lease_id, error, now)
+                stats.failures += 1
+                if task is not None:
+                    self._settle_failure(task, disposition)
+            return {"disposition": disposition}
+
+    # -- settlement (lock held) ----------------------------------------
+    def _settle_ok(self, task, results_json: list,
+                   artifacts: dict) -> None:
+        cfg = task.context["cfg"] if task.context else None
+        store = task.context["store"] if task.context else None
+        for (key, point), res_json in zip(task.items, results_json):
+            res = cache_mod.result_from_json(res_json)
+            metrics = res.extra.get("metrics")
+            if isinstance(metrics, dict) and \
+                    metrics.get("path") in artifacts:
+                metrics["path"] = artifacts[metrics["path"]]
+            if self.cache is not None and cfg is not None:
+                self.cache.put(key, point, cfg, res)
+            if store is not None:
+                store.mark(key, "done")
+            self.results[key] = res
+
+    def _settle_failure(self, task, disposition: str) -> None:
+        if disposition == queue_mod.REQUEUED:
+            self._mark(task, "pending")
+            return
+        if disposition == queue_mod.FAILED:
+            error = self.queue.error_of(task.tid)
+            store = task.context["store"] if task.context else None
+            for key, point in task.items:
+                if store is not None:
+                    store.mark(key, "failed", error=error,
+                               attempts=task.attempt)
+                self.results[key] = failed_result(point, error)
+
+    def _mark(self, task, status: str) -> None:
+        store = task.context["store"] if task.context else None
+        if store is not None:
+            store.mark_many(task.keys, status)
+
+    def _worker(self, worker: str, now: float) -> _WorkerStats:
+        stats = self._workers.get(worker)
+        if stats is None:
+            stats = self._workers[worker] = _WorkerStats(first_seen=now)
+        stats.last_seen = now
+        return stats
+
+    def _store_artifacts(self, artifacts: list) -> dict:
+        """Write worker-shipped metrics artifacts under the coordinator's
+        ``results/metrics/``; returns worker path -> coordinator path."""
+        from repro.obs.exporters import metrics_dir
+        mapping: dict[str, str] = {}
+        if not artifacts:
+            return mapping
+        out = metrics_dir()
+        out.mkdir(parents=True, exist_ok=True)
+        for art in artifacts:
+            name = re.sub(r"[^A-Za-z0-9._-]+", "-",
+                          os.path.basename(str(art.get("name", "artifact"))))
+            path = out / name
+            n = 1
+            while path.exists():
+                path = out / f"{n}_{name}"
+                n += 1
+            path.write_text(art.get("text", ""))
+            mapping[str(art.get("name"))] = str(path)
+        return mapping
+
+    # -- read side ------------------------------------------------------
+    def status(self) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            counts = self.queue.point_counts()
+            counts["collected"] = len(self.results)
+            while self._window and \
+                    self._window[0][0] < now - RATE_WINDOW_S:
+                self._window.popleft()
+            rate = 0.0
+            if self._window:
+                span = max(now - self._window[0][0], 1e-9)
+                rate = sum(n for _, n in self._window) / span
+            remaining = counts["pending"] + counts["leased"]
+            eta = remaining / rate if remaining and rate > 0 else \
+                (0.0 if not remaining else None)
+            return {
+                "campaign": self.campaign,
+                "state": self.state,
+                "drained": self.queue.drained,
+                "elapsed_s": round(now - self.started, 3),
+                "counts": counts,
+                "points_per_s": round(rate, 4),
+                "eta_s": None if eta is None else round(eta, 1),
+                "queue": self.queue.counters.to_json(),
+                "workers": {w: s.to_json(now)
+                            for w, s in self._workers.items()},
+            }
+
+    def _h_result(self, key: str) -> dict:
+        if not re.fullmatch(r"[0-9a-f]{8,64}", key):
+            raise HttpError(400, f"malformed result key {key!r}")
+        with self._lock:
+            res = self.results.get(key)
+        if res is None and self.cache is not None:
+            res = self.cache.get(key)
+        if res is None:
+            raise HttpError(404, f"no result for key {key}")
+        return {"key": key, "result": cache_mod.result_to_json(res)}
+
+    def _h_metrics(self):
+        from repro.obs.exporters import to_prometheus
+        return to_prometheus(self._metrics_registry()), \
+            "text/plain; version=0.0.4"
+
+    def _metrics_registry(self):
+        if self._registry is None:
+            from repro.obs.registry import MetricsRegistry
+            reg = MetricsRegistry()
+            counters = self.queue.counters
+            for name, help_ in [
+                    ("granted", "leases granted to workers"),
+                    ("completed", "first-completion settlements"),
+                    ("late", "late completions accepted"),
+                    ("duplicates", "duplicate completions discarded"),
+                    ("expiries", "leases expired past their deadline"),
+                    ("requeues", "tasks re-queued for retry"),
+                    ("failures", "tasks failed permanently")]:
+                reg.gauge(f"fabric_{name}_total", help_,
+                          lambda n=name: getattr(counters, n))
+            reg.multi_gauge("fabric_points", "points by lifecycle state",
+                            "state",
+                            lambda: sorted(
+                                self.queue.point_counts().items()))
+            reg.gauge("fabric_workers", "workers ever seen",
+                      lambda: len(self._workers))
+            reg.gauge("fabric_points_per_s",
+                      "aggregate completion rate over the rate window",
+                      lambda: self.status()["points_per_s"])
+            self._registry = reg
+        return self._registry
+
+    def _h_trend(self) -> dict:
+        from repro.experiments import perf
+        return {"history": str(perf.history_path()),
+                "entries": perf.load_history()}

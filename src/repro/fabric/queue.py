@@ -1,0 +1,266 @@
+"""The leased work queue at the heart of the campaign fabric.
+
+Pure bookkeeping — no I/O, no clocks (every method takes ``now``), no
+threads — so the lease protocol is unit-testable in microseconds and the
+coordinator stays a thin shell around it.
+
+Protocol invariants (the ones the tests pin):
+
+* **At-least-once execution.**  A lease that is not completed by its
+  deadline is *expired*: the attempt is charged against the task's
+  :class:`~repro.campaign.executor.RetryPolicy` budget and the task is
+  re-queued after the policy's backoff — or permanently failed once the
+  budget is spent.  A crashed or partitioned worker therefore delays a
+  task, never loses it.
+* **Idempotent completion.**  The first completion of a task wins;
+  every later completion (a duplicate POST, or a slow worker finishing
+  after its lease expired and the task was re-leased) is acknowledged
+  and discarded.  Because every execution of a point is deterministic
+  and bit-identical, *which* completion wins is unobservable — that is
+  what makes duplicate/late workers harmless rather than merely
+  tolerated.
+* **Late completions still count.**  A worker that finishes after its
+  lease expired — but before any re-execution finished — delivers a
+  perfectly good (deterministic) result; it is accepted and the
+  re-queued/re-leased copy of the task is cancelled.  Only results for
+  tasks already completed, or from lease ids the queue never issued,
+  are dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.campaign.executor import RetryPolicy
+
+#: dispositions returned to completing workers
+OK = "ok"                # first completion: results accepted
+LATE = "late"            # lease had expired, but the results still won
+DUPLICATE = "duplicate"  # task already done; results discarded
+REQUEUED = "requeued"    # reported failure; task will be retried
+FAILED = "failed"        # reported failure; retry budget exhausted
+UNKNOWN = "unknown"      # lease id never issued; results dropped
+
+
+@dataclass
+class Task:
+    """One unit of worker execution (mirrors the executor's ``_Task``):
+    a single point or a group of seed replicas, plus the config they run
+    under and an opaque coordinator-side context (the campaign store the
+    task reports to)."""
+
+    tid: str                         # stable id: the first point key
+    items: list                      # [(key, Point), ...]
+    cfg_json: dict
+    context: object = None           # opaque; never serialized
+    attempt: int = 0
+    eligible: float = 0.0            # earliest re-lease time (backoff)
+
+    @property
+    def keys(self) -> list[str]:
+        return [key for key, _ in self.items]
+
+
+@dataclass
+class Lease:
+    lease_id: str
+    worker: str
+    task: Task
+    granted: float
+    deadline: float
+
+
+@dataclass
+class QueueCounters:
+    granted: int = 0
+    completed: int = 0
+    late: int = 0
+    duplicates: int = 0
+    expiries: int = 0
+    requeues: int = 0
+    failures: int = 0
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+
+class LeaseQueue:
+    """Task lifecycle: ``pending -> leased -> done | failed`` with
+    expiry-driven re-queueing in between."""
+
+    def __init__(self, retry: RetryPolicy | None = None,
+                 lease_ttl_s: float = 60.0):
+        self.retry = retry or RetryPolicy()
+        self.lease_ttl_s = lease_ttl_s
+        self.counters = QueueCounters()
+        self._pending: deque[Task] = deque()
+        self._tasks: dict[str, Task] = {}        # tid -> task (all ever)
+        self._state: dict[str, str] = {}         # tid -> pending|leased|
+        #                                          done|failed
+        self._leases: dict[str, Lease] = {}      # live leases
+        self._lease_tid: dict[str, str] = {}     # every lease ever issued
+        self._failures: dict[str, str] = {}      # tid -> last error
+        self._ids = itertools.count(1)
+
+    # -- feeding --------------------------------------------------------
+    def add(self, task: Task) -> None:
+        if task.tid in self._tasks:
+            raise ValueError(f"task {task.tid!r} already queued")
+        self._tasks[task.tid] = task
+        self._state[task.tid] = "pending"
+        self._pending.append(task)
+
+    # -- leasing --------------------------------------------------------
+    def lease(self, worker: str, now: float,
+              max_tasks: int = 1) -> list[Lease]:
+        """Grant up to ``max_tasks`` leases to ``worker``; expired leases
+        are swept first so a single surviving worker can reclaim the
+        whole queue."""
+        self.expire(now)
+        out: list[Lease] = []
+        skipped: list[Task] = []
+        while self._pending and len(out) < max_tasks:
+            task = self._pending.popleft()
+            if self._state.get(task.tid) != "pending":
+                continue                      # cancelled by a late win
+            if task.eligible > now:
+                skipped.append(task)          # still backing off
+                continue
+            task.attempt += 1
+            lease = Lease(f"L{next(self._ids)}", worker, task, now,
+                          now + self.lease_ttl_s)
+            self._leases[lease.lease_id] = lease
+            self._lease_tid[lease.lease_id] = task.tid
+            self._state[task.tid] = "leased"
+            self.counters.granted += 1
+            out.append(lease)
+        self._pending.extendleft(reversed(skipped))
+        return out
+
+    # -- completion -----------------------------------------------------
+    def complete(self, lease_id: str, now: float) -> tuple[str, Task | None]:
+        """A worker reports success for ``lease_id``.
+
+        Returns ``(disposition, task)``; the caller persists the results
+        only for ``OK``/``LATE`` dispositions.
+        """
+        tid = self._lease_tid.get(lease_id)
+        if tid is None:
+            return UNKNOWN, None
+        task = self._tasks[tid]
+        state = self._state[tid]
+        if state in ("done", "failed"):
+            self.counters.duplicates += 1
+            return DUPLICATE, None
+        live = self._leases.pop(lease_id, None)
+        if state == "leased" and live is None:
+            # Our lease expired and the task was re-leased to someone
+            # else; their in-flight lease is now moot — drop it when it
+            # reports in (it will see state == done).
+            pass
+        self._state[tid] = "done"
+        if live is None:
+            self.counters.late += 1
+            return LATE, task
+        self.counters.completed += 1
+        return OK, task
+
+    def fail(self, lease_id: str, error: str,
+             now: float) -> tuple[str, Task | None]:
+        """A worker reports a (caught) execution failure."""
+        tid = self._lease_tid.get(lease_id)
+        if tid is None:
+            return UNKNOWN, None
+        task = self._tasks[tid]
+        if self._state[tid] in ("done", "failed"):
+            self.counters.duplicates += 1
+            return DUPLICATE, None
+        self._leases.pop(lease_id, None)
+        self._failures[tid] = error
+        return self._retry_or_fail(task, now)
+
+    def _retry_or_fail(self, task: Task, now: float) -> tuple[str, Task]:
+        if task.attempt >= self.retry.max_attempts:
+            self._state[task.tid] = "failed"
+            self.counters.failures += 1
+            return FAILED, task
+        task.eligible = now + self.retry.delay(task.attempt)
+        self._state[task.tid] = "pending"
+        self._pending.append(task)
+        self.counters.requeues += 1
+        return REQUEUED, task
+
+    # -- expiry ---------------------------------------------------------
+    def expire(self, now: float) -> list[tuple[str, Task]]:
+        """Sweep overdue leases; each costs the task one attempt."""
+        out = []
+        for lease in [l for l in self._leases.values()
+                      if l.deadline <= now]:
+            del self._leases[lease.lease_id]
+            self.counters.expiries += 1
+            task = lease.task
+            if self._state.get(task.tid) != "leased":
+                continue                      # already done via late win
+            self._failures[task.tid] = (
+                f"lease {lease.lease_id} to {lease.worker} expired")
+            out.append(self._retry_or_fail(task, now))
+        return out
+
+    def expire_worker(self, worker: str,
+                      now: float) -> list[tuple[str, Task]]:
+        """Force-expire every live lease held by ``worker`` — used when a
+        supervisor *knows* the worker process died, so its tasks requeue
+        immediately instead of waiting out the lease TTL."""
+        for lease in [l for l in self._leases.values()
+                      if l.worker == worker]:
+            lease.deadline = now
+        return self.expire(now)
+
+    # -- introspection --------------------------------------------------
+    def task_of(self, lease_id: str) -> Task | None:
+        """The task a lease id refers to (None if never issued) — lets
+        the coordinator validate a completion payload *before* settling
+        the task."""
+        tid = self._lease_tid.get(lease_id)
+        return self._tasks[tid] if tid is not None else None
+
+    def error_of(self, tid: str) -> str:
+        return self._failures.get(tid, "")
+
+    def counts(self) -> dict[str, int]:
+        by = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for state in self._state.values():
+            by[state] += 1
+        return by
+
+    def point_counts(self) -> dict[str, int]:
+        """Like :meth:`counts`, but in points (a replica-batch task of R
+        seeds is R points) — the unit campaign progress is measured in."""
+        by = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+        for tid, state in self._state.items():
+            by[state] += len(self._tasks[tid].items)
+        return by
+
+    def next_eligible(self) -> float | None:
+        """Earliest backoff deadline among pending tasks (None if any
+        task is immediately leasable or the queue is empty)."""
+        times = [t.eligible for t in self._pending
+                 if self._state.get(t.tid) == "pending"]
+        if not times:
+            return None
+        soonest = min(times)
+        return soonest if soonest > 0 else None
+
+    @property
+    def drained(self) -> bool:
+        return all(s in ("done", "failed") for s in self._state.values())
+
+    def live_keys(self) -> set[str]:
+        """Point keys currently out on a live lease."""
+        return {key for lease in self._leases.values()
+                for key in lease.task.keys}
+
+    def __len__(self) -> int:
+        return len(self._tasks)

@@ -1,0 +1,139 @@
+"""Pull-based fabric worker.
+
+A worker is a loop: lease, execute, report.  Execution goes through the
+*unchanged* campaign datapath — :func:`~repro.campaign.worker
+.execute_point` for singletons, :func:`~repro.campaign.worker
+.execute_group` for replica batches — so a point computed by a remote
+worker is bit-identical to the same point computed by the local
+executor; the fabric moves work, never semantics.
+
+Failure behaviour:
+
+* an exception inside a task is caught and reported as a failed
+  completion — the coordinator charges the attempt and re-queues or
+  fails the task per its retry policy;
+* a worker crash (segfault, OOM-kill, ``os._exit``) simply lets the
+  lease expire — same outcome, just on the lease-timeout clock;
+* a coordinator that stops answering is retried with backoff up to
+  ``max_connect_failures`` consecutive misses, then the worker exits —
+  a fleet never spins forever against a dead coordinator.
+
+Workers keep polling through idle periods (a ``serve`` session feeds the
+queue experiment by experiment) and exit only on the coordinator's
+explicit ``shutdown`` state.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import urllib.error
+
+from repro.campaign import cache as cache_mod
+from repro.fabric import protocol
+from repro.fabric.httpd import HttpError, http_json
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class FabricWorker:
+    def __init__(self, url: str, worker_id: str | None = None,
+                 poll_s: float = 0.25, max_tasks: int = 1,
+                 max_connect_failures: int = 40,
+                 connect_backoff_s: float = 0.25):
+        self.url = url.rstrip("/")
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        self.max_tasks = max_tasks
+        self.max_connect_failures = max_connect_failures
+        self.connect_backoff_s = connect_backoff_s
+        self.stats = {"leases": 0, "points": 0, "failures": 0,
+                      "connect_failures": 0}
+
+    # -- the loop -------------------------------------------------------
+    def run(self) -> dict:
+        misses = 0
+        while True:
+            try:
+                resp = http_json("POST", self.url + "/lease", {
+                    "version": protocol.PROTOCOL_VERSION,
+                    "worker": self.worker_id,
+                    "max_tasks": self.max_tasks,
+                })
+            except HttpError:
+                raise            # 4xx/5xx: a real protocol error, surface it
+            except (urllib.error.URLError, ConnectionError, OSError):
+                misses += 1
+                self.stats["connect_failures"] += 1
+                if misses >= self.max_connect_failures:
+                    raise
+                time.sleep(min(self.connect_backoff_s * misses, 5.0))
+                continue
+            misses = 0
+            state = resp.get("state")
+            if state == protocol.STATE_SHUTDOWN:
+                return self.stats
+            if state == protocol.STATE_IDLE or not resp.get("leases"):
+                time.sleep(self.poll_s)
+                continue
+            for lease in resp["leases"]:
+                self._run_lease(lease)
+
+    # -- one lease ------------------------------------------------------
+    def _run_lease(self, lease: dict) -> None:
+        self.stats["leases"] += 1
+        try:
+            payload = self._execute(lease)
+        except Exception as exc:  # noqa: BLE001 - reported, never fatal
+            self.stats["failures"] += 1
+            payload = {"ok": False,
+                       "error": f"{type(exc).__name__}: {exc}"}
+        payload.update({"lease_id": lease["lease_id"],
+                        "worker": self.worker_id})
+        try:
+            http_json("POST", self.url + "/complete", payload)
+        except (urllib.error.URLError, ConnectionError, OSError):
+            # Coordinator unreachable at report time: the lease will
+            # expire and the task re-run — exactly the at-least-once
+            # contract.  Nothing to do here.
+            self.stats["connect_failures"] += 1
+
+    def _execute(self, lease: dict) -> dict:
+        cfg = protocol.cfg_from_json(lease["cfg"])
+        items = protocol.items_from_json(lease["items"])
+        points = [p for _, p in items]
+        from repro.campaign.worker import execute_group, execute_point
+        if len(points) == 1:
+            results = [execute_point(points[0], cfg)]
+        else:
+            results = execute_group(points, cfg)
+        self.stats["points"] += len(points)
+        return {"ok": True,
+                "results": [cache_mod.result_to_json(r) for r in results],
+                "artifacts": self._gather_artifacts(results)}
+
+    @staticmethod
+    def _gather_artifacts(results) -> list:
+        """Metrics snapshots written by instrumented runs live on the
+        worker's disk; ship their contents home so the coordinator owns
+        the artifacts."""
+        out = []
+        for res in results:
+            metrics = res.extra.get("metrics")
+            if not isinstance(metrics, dict):
+                continue
+            path = metrics.get("path")
+            if path and os.path.exists(path):
+                out.append({"name": path,
+                            "text": open(path).read()})
+        return out
+
+
+def worker_process_main(url: str, worker_id: str | None = None,
+                        poll_s: float = 0.25, max_tasks: int = 1) -> None:
+    """Entry point for loopback worker subprocesses."""
+    FabricWorker(url, worker_id=worker_id, poll_s=poll_s,
+                 max_tasks=max_tasks).run()

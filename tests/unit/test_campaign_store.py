@@ -1,0 +1,129 @@
+"""CampaignStore tests: WAL concurrency hardening, batch transitions,
+lease-aware resume, and the throughput window behind remote-robust ETAs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign.store import CampaignStore
+from repro.sim.parallel import Point
+
+
+def points(n: int) -> list[tuple[str, Point]]:
+    return [(f"k{i}", Point.make("fastpass", "uniform", 0.01 * (i + 1)))
+            for i in range(n)]
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = CampaignStore(tmp_path / "campaign.sqlite")
+    yield s
+    s.close()
+
+
+class TestWalMode:
+    def test_wal_journal_mode(self, store):
+        # On normal filesystems sqlite grants WAL; the attribute records
+        # whatever mode was actually negotiated.
+        assert store.journal_mode == "wal"
+
+    def test_concurrent_reader_sees_writes(self, store, tmp_path):
+        store.register(points(3))
+        store.mark("k0", "done")
+        reader = CampaignStore(tmp_path / "campaign.sqlite")
+        try:
+            assert reader.counts() == {"pending": 2, "running": 0,
+                                       "done": 1, "failed": 0}
+        finally:
+            reader.close()
+
+    def test_cross_thread_writes(self, store):
+        """The coordinator marks transitions from its HTTP thread while
+        the executor registers from the main one."""
+        store.register(points(20))
+        errors = []
+
+        def mark_half(lo, hi):
+            try:
+                for i in range(lo, hi):
+                    store.mark(f"k{i}", "done")
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=mark_half, args=(lo, lo + 10))
+                   for lo in (0, 10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.counts()["done"] == 20
+
+
+class TestTransitions:
+    def test_mark_many_is_one_transition(self, store):
+        store.register(points(4))
+        store.mark_many(["k0", "k1", "k2"], "running")
+        assert store.counts() == {"pending": 1, "running": 3, "done": 0,
+                                  "failed": 0}
+
+    def test_mark_many_clears_stale_error(self, store):
+        store.register(points(1))
+        store.mark("k0", "failed", error="boom")
+        store.mark_many(["k0"], "pending")
+        store.mark("k0", "failed", error=None)
+        assert store.failures() == [("k0", "", 0)]
+
+    def test_mark_many_rejects_bad_status(self, store):
+        with pytest.raises(ValueError):
+            store.mark_many(["k0"], "exploded")
+
+
+class TestResetRunning:
+    def test_reset_running_requeues_stale_points(self, store):
+        store.register(points(3))
+        store.mark_many(["k0", "k1"], "running")
+        assert store.reset_running() == 2
+        assert store.counts()["pending"] == 3
+
+    def test_reset_running_spares_live_leases(self, store):
+        """Points out on live fabric leases must not be clobbered back to
+        pending — that would double-execute them."""
+        store.register(points(3))
+        store.mark_many(["k0", "k1", "k2"], "running")
+        assert store.reset_running(exclude={"k1"}) == 2
+        assert store.status_of("k1") == "running"
+        assert store.status_of("k0") == "pending"
+        assert store.status_of("k2") == "pending"
+
+    def test_reset_running_noop_when_all_excluded(self, store):
+        store.register(points(2))
+        store.mark_many(["k0", "k1"], "running")
+        assert store.reset_running(exclude={"k0", "k1"}) == 0
+        assert store.counts()["running"] == 2
+
+
+class TestThroughput:
+    def test_throughput_counts_recent_finishers(self, store):
+        store.register(points(5))
+        for k in ("k0", "k1", "k2"):
+            store.mark(k, "done")
+        store.mark("k3", "failed", error="x")
+        n, span = store.throughput(window_s=300.0)
+        assert n == 4
+        assert span > 0
+
+    def test_throughput_ignores_old_finishers(self, store):
+        store.register(points(2))
+        store.mark("k0", "done")
+        time.sleep(0.05)
+        store.mark("k1", "done")
+        n, _ = store.throughput(window_s=0.01)
+        assert n == 1
+
+    def test_throughput_empty(self, store):
+        assert store.throughput() == (0, 0.0)

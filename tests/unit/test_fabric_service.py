@@ -1,0 +1,193 @@
+"""Coordinator HTTP service tests: the work-queue API and the read-side
+results service, exercised over real sockets (loopback, ephemeral port).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.campaign.cache import result_to_json
+from repro.campaign.executor import RetryPolicy
+from repro.config import RunResult, SimConfig
+from repro.fabric import protocol
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.httpd import HttpError, http_json
+from repro.sim.parallel import Point
+
+CFG = SimConfig(rows=4, cols=4, warmup_cycles=100, measure_cycles=200,
+                drain_cycles=400)
+KEY = "a" * 16
+
+
+def result(scheme: str = "fastpass") -> RunResult:
+    return RunResult(scheme=scheme, injected=10, ejected=10,
+                     avg_latency=12.0, p99_latency=20.0, throughput=0.02,
+                     cycles=700)
+
+
+@pytest.fixture
+def coord():
+    c = Coordinator(cache=None, retry=RetryPolicy(max_attempts=2,
+                                                  backoff_s=0.0),
+                    lease_ttl_s=30.0, campaign="svc-test")
+    url = c.start("127.0.0.1", 0)
+    try:
+        yield c, url
+    finally:
+        c.stop()
+
+
+def submit_one(c: Coordinator, key: str = KEY):
+    c.submit([[(key, Point.make("fastpass", "uniform", 0.02))]], CFG,
+             store=None)
+
+
+class TestProbes:
+    def test_healthz(self, coord):
+        c, url = coord
+        out = http_json("GET", f"{url}/healthz")
+        assert out == {"ok": True, "state": "ok",
+                       "version": protocol.PROTOCOL_VERSION}
+
+    def test_unknown_endpoint_is_404(self, coord):
+        _, url = coord
+        with pytest.raises(HttpError) as exc:
+            http_json("GET", f"{url}/nope")
+        assert exc.value.status == 404
+
+    def test_malformed_json_body_is_400(self, coord):
+        _, url = coord
+        req = urllib.request.Request(
+            f"{url}/lease", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json",
+                     "Connection": "close"})
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10)
+        assert exc.value.code == 400
+
+
+class TestWorkQueueApi:
+    def test_version_mismatch_is_409(self, coord):
+        _, url = coord
+        with pytest.raises(HttpError) as exc:
+            http_json("POST", f"{url}/lease",
+                      {"version": 999, "worker": "w1"})
+        assert exc.value.status == 409
+        assert "version" in str(exc.value)
+
+    def test_empty_queue_leases_idle(self, coord):
+        _, url = coord
+        out = http_json("POST", f"{url}/lease",
+                        {"version": protocol.PROTOCOL_VERSION,
+                         "worker": "w1"})
+        assert out["state"] == protocol.STATE_IDLE
+
+    def test_lease_complete_duplicate_over_http(self, coord):
+        c, url = coord
+        submit_one(c)
+        out = http_json("POST", f"{url}/lease",
+                        {"version": protocol.PROTOCOL_VERSION,
+                         "worker": "w1"})
+        assert out["state"] == protocol.STATE_OK
+        (lease,) = out["leases"]
+        assert protocol.cfg_from_json(lease["cfg"]) == CFG
+        completion = {"lease_id": lease["lease_id"], "worker": "w1",
+                      "ok": True,
+                      "results": [result_to_json(result())]}
+        assert http_json("POST", f"{url}/complete",
+                         completion)["disposition"] == "ok"
+        # Idempotence: the same POST again is acknowledged, not re-settled.
+        assert http_json("POST", f"{url}/complete",
+                         completion)["disposition"] == "duplicate"
+        assert c.collect([KEY])[KEY].avg_latency == 12.0
+
+    def test_result_count_mismatch_retries_task(self, coord):
+        c, url = coord
+        submit_one(c)
+        out = http_json("POST", f"{url}/lease",
+                        {"version": protocol.PROTOCOL_VERSION,
+                         "worker": "w1"})
+        (lease,) = out["leases"]
+        bad = {"lease_id": lease["lease_id"], "worker": "w1", "ok": True,
+               "results": []}
+        assert http_json("POST", f"{url}/complete",
+                         bad)["disposition"] == "requeued"
+        # The task is leasable again and completes normally.
+        out = http_json("POST", f"{url}/lease",
+                        {"version": protocol.PROTOCOL_VERSION,
+                         "worker": "w2"})
+        (lease,) = out["leases"]
+        assert lease["attempt"] == 2
+        good = {"lease_id": lease["lease_id"], "worker": "w2", "ok": True,
+                "results": [result_to_json(result())]}
+        assert http_json("POST", f"{url}/complete",
+                         good)["disposition"] == "ok"
+
+    def test_shutdown_state_reaches_workers(self, coord):
+        c, url = coord
+        c.shutdown()
+        out = http_json("POST", f"{url}/lease",
+                        {"version": protocol.PROTOCOL_VERSION,
+                         "worker": "w1"})
+        assert out["state"] == protocol.STATE_SHUTDOWN
+
+
+class TestResultsService:
+    def test_status_shape_and_worker_stats(self, coord):
+        c, url = coord
+        submit_one(c)
+        http_json("POST", f"{url}/lease",
+                  {"version": protocol.PROTOCOL_VERSION, "worker": "w1"})
+        status = http_json("GET", f"{url}/status")
+        assert status["campaign"] == "svc-test"
+        assert status["counts"]["leased"] == 1
+        assert status["queue"]["granted"] == 1
+        assert "w1" in status["workers"]
+        assert status["workers"]["w1"]["leases"] == 1
+
+    def test_result_endpoint(self, coord):
+        c, url = coord
+        c.seed_results({KEY: result()})
+        out = http_json("GET", f"{url}/result/{KEY}")
+        assert out["key"] == KEY
+        assert out["result"] == json.loads(json.dumps(
+            result_to_json(result())))
+
+    def test_result_malformed_key_is_400(self, coord):
+        _, url = coord
+        with pytest.raises(HttpError) as exc:
+            http_json("GET", f"{url}/result/..%2Fetc")
+        assert exc.value.status == 400
+
+    def test_result_missing_key_is_404(self, coord):
+        _, url = coord
+        with pytest.raises(HttpError) as exc:
+            http_json("GET", f"{url}/result/{'b' * 16}")
+        assert exc.value.status == 404
+
+    def test_metrics_prometheus_text(self, coord):
+        c, url = coord
+        submit_one(c)
+        http_json("POST", f"{url}/lease",
+                  {"version": protocol.PROTOCOL_VERSION, "worker": "w1"})
+        with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert "fabric_granted_total 1" in text
+        assert 'fabric_points{state="leased"} 1' in text
+        assert "fabric_workers 1" in text
+
+    def test_perf_trend_endpoint(self, coord, tmp_path, monkeypatch):
+        _, url = coord
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        perf = tmp_path / "perf"
+        perf.mkdir()
+        entries = [{"ts": "2026-08-08T00:00:00", "cps": 1000.0},
+                   {"ts": "2026-08-08T01:00:00", "cps": 1100.0}]
+        (perf / "history.jsonl").write_text(
+            "".join(json.dumps(e) + "\n" for e in entries))
+        out = http_json("GET", f"{url}/perf/trend")
+        assert out["entries"] == entries
