@@ -47,6 +47,14 @@ CREATE TABLE IF NOT EXISTS points(
 );
 CREATE TABLE IF NOT EXISTS meta(k TEXT PRIMARY KEY, v TEXT);
 CREATE INDEX IF NOT EXISTS idx_points_status ON points(status);
+CREATE TABLE IF NOT EXISTS leases(
+    lease_id   TEXT PRIMARY KEY,
+    worker     TEXT NOT NULL,
+    keys       TEXT NOT NULL,
+    attempt    INTEGER NOT NULL,
+    redundancy INTEGER NOT NULL DEFAULT 1,
+    deadline   REAL NOT NULL
+);
 """
 
 STATUSES = ("pending", "running", "done", "failed")
@@ -143,7 +151,69 @@ class CampaignStore:
             self._con.commit()
             return len(stale)
 
+    # -- lease journal --------------------------------------------------
+    # The fabric coordinator journals its live leases here after every
+    # state transition, which is what makes it crash-safe: a restarted
+    # coordinator (``fabric serve --resume``) re-creates the outstanding
+    # leases from these rows and keeps honouring their completions.
+    # ``deadline`` is wall-clock (the coordinator's monotonic clock died
+    # with it); a resumed lease gets a fresh TTL anyway.
+
+    def sync_leases(self, rows: list[dict]) -> None:
+        """Replace the lease journal with ``rows`` in one transaction.
+
+        Each row: ``{"lease_id", "worker", "keys": [...], "attempt",
+        "redundancy", "ttl_s"}``.  Full replacement (not upsert) keeps
+        the journal an exact mirror of the queue's live leases — a
+        completed or expired lease disappears on the next sync.
+        """
+        now = time.time()
+        with self._lock:
+            self._con.execute("DELETE FROM leases")
+            self._con.executemany(
+                "INSERT INTO leases(lease_id, worker, keys, attempt, "
+                "redundancy, deadline) VALUES(?, ?, ?, ?, ?, ?)",
+                [(r["lease_id"], r["worker"], json.dumps(r["keys"]),
+                  int(r["attempt"]), int(r.get("redundancy", 1)),
+                  now + float(r.get("ttl_s", 0.0))) for r in rows])
+            self._con.commit()
+
+    def outstanding_leases(self) -> list[dict]:
+        """The journaled leases, oldest lease id first."""
+        with self._lock:
+            rows = self._con.execute(
+                "SELECT lease_id, worker, keys, attempt, redundancy, "
+                "deadline FROM leases ORDER BY lease_id").fetchall()
+        return [{"lease_id": lease_id, "worker": worker,
+                 "keys": json.loads(keys), "attempt": attempt,
+                 "redundancy": redundancy, "deadline": deadline}
+                for lease_id, worker, keys, attempt, redundancy, deadline
+                in rows]
+
+    def clear_leases(self) -> int:
+        """Drop the lease journal (graceful shutdown, or a fresh
+        campaign that must not adopt stale claims); returns the number
+        of rows dropped."""
+        with self._lock:
+            cur = self._con.execute("DELETE FROM leases")
+            self._con.commit()
+        return cur.rowcount
+
     # -- queries --------------------------------------------------------
+    def points_by_key(self, keys) -> dict[str, tuple[Point, str]]:
+        """``key -> (point, status)`` for every known key in ``keys`` —
+        lease adoption validates journal rows against this."""
+        out: dict[str, tuple[Point, str]] = {}
+        with self._lock:
+            for key in keys:
+                row = self._con.execute(
+                    "SELECT point, status FROM points WHERE key=?",
+                    (key,)).fetchone()
+                if row is not None:
+                    out[key] = (Point.from_json(json.loads(row[0])),
+                                row[1])
+        return out
+
     def status_of(self, key: str) -> str | None:
         with self._lock:
             row = self._con.execute(

@@ -1,0 +1,131 @@
+"""Chaos plans: deterministic, seed-reproducible transport-fault schedules.
+
+The fabric analogue of :mod:`repro.fault.plan`: where a
+:class:`~repro.fault.plan.FaultPlan` describes what goes wrong *inside*
+the simulated mesh, a :class:`ChaosPlan` describes what goes wrong on
+the wire *between* fabric workers and their coordinator — injected
+delays, dropped and reset connections, truncated and bit-corrupted
+payloads, duplicated deliveries.
+
+Plans are frozen dataclasses with a canonical ``token()`` form, so they
+flow through process boundaries (the loopback session hands its spawned
+workers the token on the command line of their process target) and can
+be logged next to the seed that reproduces a run.  Each field is the
+per-request probability of one fault kind; at most one kind fires per
+request, drawn from a per-worker RNG stream seeded by ``(plan token,
+worker salt)``.  The *stream* is deterministic; which request a fault
+lands on depends on lease interleaving, exactly like the stochastic leg
+of a fault plan depends on the traffic it meets.  What the chaos suite
+certifies is stronger than replay: *any* schedule the plan can emit must
+retry-and-converge with every point settled exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+#: injected latency before the request is sent
+DELAY = "delay"
+#: the connection never opens — the request is lost before delivery
+DROP = "drop"
+#: the request is delivered and processed, but the connection dies
+#: before the sender sees the response (the classic duplicate-maker)
+RESET = "reset"
+#: the body is cut short of its declared Content-Length mid-flight
+TRUNCATE = "truncate"
+#: bits of the body are flipped in flight (checksum catches it)
+CORRUPT = "corrupt"
+#: the same request is delivered twice (idempotency probe)
+DUPLICATE = "duplicate"
+
+CHAOS_KINDS = (DELAY, DROP, RESET, TRUNCATE, CORRUPT, DUPLICATE)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Per-request fault probabilities for the fabric transport.
+
+    ``delay_s`` is the *mean* of the exponentially distributed injected
+    latency.  ``duplicate`` only applies to ``/complete`` deliveries —
+    duplicating a lease poll would manufacture ghost leases the worker
+    never learns about, which models a different failure (covered by
+    ``reset`` on ``/lease``) and only burns retry budget.
+    """
+
+    delay: float = 0.0
+    drop: float = 0.0
+    reset: float = 0.0
+    truncate: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    delay_s: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self):
+        for kind in CHAOS_KINDS:
+            p = getattr(self, kind)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"chaos probability {kind}={p} outside "
+                                 "[0, 1]")
+        if self.total() > 1.0 + 1e-9:
+            raise ValueError("chaos probabilities sum to "
+                             f"{self.total():.3f} > 1; at most one fault "
+                             "fires per request")
+        if self.delay_s <= 0:
+            raise ValueError("delay_s must be positive")
+
+    def total(self) -> float:
+        return sum(getattr(self, kind) for kind in CHAOS_KINDS)
+
+    def __bool__(self) -> bool:
+        return self.total() > 0
+
+    def probabilities(self) -> list[tuple[str, float]]:
+        """``(kind, probability)`` pairs in canonical draw order."""
+        return [(kind, getattr(self, kind)) for kind in CHAOS_KINDS]
+
+    def scaled(self, factor: float) -> "ChaosPlan":
+        """The same mix of faults at ``factor`` times the intensity —
+        the escalation knob of ``chaos sweep``.  Probabilities are
+        clamped so the plan stays valid at any factor."""
+        if factor < 0:
+            raise ValueError("chaos scale factor must be non-negative")
+        probs = {k: min(p * factor, 1.0) for k, p in self.probabilities()}
+        total = sum(probs.values())
+        if total > 1.0:
+            probs = {k: p / total for k, p in probs.items()}
+        return replace(self, **probs)
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "delay": self.delay, "drop": self.drop, "reset": self.reset,
+            "truncate": self.truncate, "corrupt": self.corrupt,
+            "duplicate": self.duplicate, "delay_s": self.delay_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "ChaosPlan":
+        return cls(**{k: d.get(k, 0.0) for k in CHAOS_KINDS},
+                   delay_s=d.get("delay_s", 0.02),
+                   seed=d.get("seed", 0))
+
+    def token(self) -> str:
+        """Canonical string form — stable across processes; the seed of
+        every worker's chaos RNG stream."""
+        return json.dumps(self.to_json(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_token(cls, token: str) -> "ChaosPlan":
+        return cls.from_json(json.loads(token))
+
+
+def mild_chaos(seed: int = 0) -> ChaosPlan:
+    """A little of everything — the unit-of-escalation plan the chaos
+    sweep scales up level by level."""
+    return ChaosPlan(delay=0.05, drop=0.03, reset=0.03, truncate=0.02,
+                     corrupt=0.02, duplicate=0.05, delay_s=0.02,
+                     seed=seed)

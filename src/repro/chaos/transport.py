@@ -1,0 +1,170 @@
+"""The chaos layer on the fabric HTTP path.
+
+A :class:`ChaosInjector` wraps the worker's client side of the
+coordinator protocol.  Per request it draws at most one fault from its
+:class:`~repro.chaos.plan.ChaosPlan` and *actually commits it on the
+wire*: a truncated body really arrives short of its Content-Length, a
+corrupted body really carries flipped bits past the original checksum
+header, a duplicated completion really hits the coordinator twice.
+Nothing is mocked — the same server-side validation and queue
+idempotency that protect a production fleet are what the chaos suite
+exercises.
+
+Why client-side: every transport fault is observable from exactly one
+side.  A dropped connection, a reset after delivery, and a mangled
+payload all look identical to the coordinator whether the network or
+the client misbehaved, so injecting at the sender covers the full
+matrix while keeping the coordinator's code paths untouched.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import socket
+import time
+import urllib.error
+import urllib.parse
+
+from repro.chaos.plan import (CHAOS_KINDS, CORRUPT, DELAY, DROP, DUPLICATE,
+                              RESET, TRUNCATE, ChaosPlan)
+from repro.fabric.httpd import CHECKSUM_HEADER, HttpError, body_checksum, \
+    http_json
+
+#: ceiling on one injected delay, in multiples of the plan's mean —
+#: keeps a pathological exponential draw from outliving a lease TTL
+MAX_DELAY_MEANS = 4.0
+
+
+class ChaosInjector:
+    """Deterministic per-worker fault stream over the fabric client.
+
+    ``salt`` separates the RNG streams of workers sharing a plan (the
+    loopback session passes each worker its spawn index).  ``counts``
+    accumulates injections by kind; workers ship the totals home in
+    their lease polls, where the coordinator aggregates them into
+    ``fabric_chaos_injected_total{kind}``.
+    """
+
+    def __init__(self, plan: ChaosPlan, salt: int = 0,
+                 timeout: float = 30.0):
+        self.plan = plan
+        self.salt = salt
+        self.timeout = timeout
+        self.rng = random.Random(f"{plan.token()}|{salt}")
+        self.counts: dict[str, int] = {k: 0 for k in CHAOS_KINDS}
+
+    # -- the draw -------------------------------------------------------
+    def _decide(self, path: str) -> str | None:
+        r = self.rng.random()
+        for kind, prob in self.plan.probabilities():
+            if kind == DUPLICATE and not path.endswith("/complete"):
+                continue
+            if r < prob:
+                return kind
+            r -= prob
+        return None
+
+    def _count(self, kind: str) -> None:
+        self.counts[kind] += 1
+
+    # -- one chaotic request --------------------------------------------
+    def request(self, method: str, base_url: str, path: str,
+                payload: dict | None):
+        """Send ``payload`` to ``base_url + path``, possibly sabotaged.
+
+        Raises exactly what the equivalent real-world failure would:
+        ``URLError`` for a dropped connection, ``ConnectionResetError``
+        for a lost response, :class:`HttpError` (400) when the server
+        rejects a mangled body.
+        """
+        kind = self._decide(path)
+        url = base_url + path
+        if kind is None:
+            return http_json(method, url, payload, timeout=self.timeout)
+        self._count(kind)
+        if kind == DELAY:
+            mean = self.plan.delay_s
+            time.sleep(min(self.rng.expovariate(1.0 / mean),
+                           MAX_DELAY_MEANS * mean))
+            return http_json(method, url, payload, timeout=self.timeout)
+        if kind == DROP:
+            raise urllib.error.URLError("chaos: connection dropped "
+                                        "before delivery")
+        if kind == RESET:
+            # Deliver and let the server process the request, then lose
+            # the response: the sender must retry, the receiver must
+            # treat the retry as the duplicate it is.
+            http_json(method, url, payload, timeout=self.timeout)
+            raise ConnectionResetError("chaos: connection reset before "
+                                       "the response arrived")
+        if kind == DUPLICATE:
+            first = http_json(method, url, payload, timeout=self.timeout)
+            try:
+                http_json(method, url, payload, timeout=self.timeout)
+            except (HttpError, urllib.error.URLError, ConnectionError,
+                    OSError):
+                pass                # the duplicate is best-effort
+            return first
+        body = json.dumps(payload or {}).encode()
+        checksum = body_checksum(body)
+        if kind == TRUNCATE:
+            cut = self.rng.randrange(len(body))
+            status, blob = _raw_post(url, body[:cut], declared_len=len(body),
+                                     checksum=checksum, shut_wr=True,
+                                     timeout=self.timeout)
+        else:                        # CORRUPT
+            status, blob = _raw_post(url, _flip_bits(body, self.rng),
+                                     declared_len=len(body),
+                                     checksum=checksum,
+                                     timeout=self.timeout)
+        return _parse_response(status, blob)
+
+
+def _flip_bits(body: bytes, rng: random.Random, n: int = 3) -> bytes:
+    """Flip up to ``n`` random bits — always at least one real change."""
+    out = bytearray(body)
+    for _ in range(max(1, min(n, len(out)))):
+        i = rng.randrange(len(out))
+        out[i] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def _raw_post(url: str, body: bytes, declared_len: int, checksum: str,
+              shut_wr: bool = False, timeout: float = 30.0):
+    """A POST with full framing control: the declared Content-Length and
+    checksum header describe the *intended* body while ``body`` is what
+    actually goes on the wire.  ``shut_wr`` closes the write side after
+    sending, so a short body reads as a truncation (EOF before
+    Content-Length) instead of a stalled request."""
+    split = urllib.parse.urlsplit(url)
+    conn = http.client.HTTPConnection(split.hostname, split.port or 80,
+                                      timeout=timeout)
+    try:
+        conn.putrequest("POST", split.path or "/",
+                        skip_accept_encoding=True)
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(declared_len))
+        conn.putheader(CHECKSUM_HEADER, checksum)
+        conn.putheader("Connection", "close")
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        if shut_wr:
+            conn.sock.shutdown(socket.SHUT_WR)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def _parse_response(status: int, blob: bytes):
+    if 200 <= status < 300:
+        return json.loads(blob) if blob else None
+    detail = ""
+    try:
+        detail = json.loads(blob).get("error", "")
+    except (json.JSONDecodeError, AttributeError):
+        pass
+    raise HttpError(status, detail or f"HTTP {status}")

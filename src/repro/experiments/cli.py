@@ -148,8 +148,19 @@ def _campaign_run(parser, args) -> int:
 
 def _print_live_status(url: str) -> int:
     """Live view from a fabric coordinator's results service."""
+    import urllib.error
+
     from repro.fabric.httpd import http_json
-    s = http_json("GET", url.rstrip("/") + "/status")
+    try:
+        s = http_json("GET", url.rstrip("/") + "/status")
+    except (urllib.error.URLError, ConnectionError, OSError) as exc:
+        reason = getattr(exc, "reason", None) or exc
+        print(f"coordinator not reachable at {url}: {reason}",
+              file=sys.stderr)
+        print("is the fabric serving?  start one with: "
+              "repro-experiments fabric serve <experiments>",
+              file=sys.stderr)
+        return 2
     counts = s.get("counts", {})
     eta = s.get("eta_s")
     print(f"{s.get('campaign') or 'fabric'}: state={s.get('state')} "
@@ -160,6 +171,18 @@ def _print_live_status(url: str) -> int:
           f"ETA {'?' if eta is None else f'{eta:.0f}s'}")
     q = s.get("queue", {})
     print("  queue: " + ", ".join(f"{k}={v}" for k, v in q.items() if v))
+    chaos = s.get("chaos") or {}
+    if chaos:
+        print("  chaos injected: " + ", ".join(
+            f"{k}={v}" for k, v in chaos.items()))
+    quarantine = s.get("quarantine") or {}
+    if quarantine.get("total"):
+        print(f"  quarantined: {quarantine['total']}")
+        for event in quarantine.get("events", [])[-5:]:
+            liars = ",".join(event.get("liars") or []) or "?"
+            print(f"    {event.get('task', '?')[:12]}… "
+                  f"verdict={event.get('verdict')} liars={liars} "
+                  f"({event.get('path')})")
     workers = s.get("workers", {})
     if workers:
         print(f"  {'worker':28s} {'leases':>7s} {'points':>7s} "
@@ -283,9 +306,15 @@ def _fabric_serve(parser, args) -> int:
         cache=ctx.cache(),
         retry=RetryPolicy(max_attempts=args.max_attempts),
         lease_ttl_s=args.lease_ttl,
-        host=args.host, port=args.port, workers=args.workers)
+        host=args.host, port=args.port, workers=args.workers,
+        redundancy=args.redundancy, resume=args.resume)
     print(f"fabric coordinator serving on {session.url} "
           f"with {args.workers} local workers")
+    if args.resume:
+        print("  resume: adopting journaled leases from campaign stores")
+    if args.redundancy:
+        print(f"  redundancy: {args.redundancy:.0%} of tasks "
+              "double-executed and cross-checked")
     print(f"  pull work:   repro-experiments fabric work {session.url}")
     print(f"  live status: repro-experiments fabric status {session.url}")
     ctx.fabric_session = session
@@ -347,6 +376,16 @@ def _fabric_main(argv: list[str]) -> int:
     p_serve.add_argument("--max-attempts", type=int, default=3,
                          help="retry budget per task, counting expired "
                               "leases (default: 3)")
+    p_serve.add_argument("--resume", action="store_true",
+                         help="adopt leases journaled by a previous "
+                              "coordinator that crashed mid-campaign "
+                              "(use the same --port so surviving "
+                              "workers reconnect)")
+    p_serve.add_argument("--redundancy", type=float, default=0.0,
+                         metavar="F",
+                         help="fraction of tasks leased to two workers "
+                              "and cross-checked field-by-field; "
+                              "mismatches are quarantined (default: 0)")
     _add_common_flags(p_serve)
 
     p_work = sub.add_parser(
@@ -370,6 +409,54 @@ def _fabric_main(argv: list[str]) -> int:
     if args.cmd == "work":
         return _fabric_work(args)
     return _print_live_status(args.url)
+
+
+# -- chaos subcommands --------------------------------------------------
+
+def _chaos_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments chaos",
+        description="Transport-chaos certification for the campaign "
+                    "fabric: run a small real campaign under an "
+                    "escalating seeded ChaosPlan and prove every point "
+                    "settles exactly once, bit-identically.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="escalating chaos levels vs. a local baseline; "
+                      "prints a survival table")
+    p_sweep.add_argument("--seed", type=int, default=0,
+                         help="chaos plan seed (default: 0) — the same "
+                              "seed reproduces the same fault streams")
+    p_sweep.add_argument("--levels", default=None,
+                         help="comma-separated intensity multipliers of "
+                              "the base plan (default: 0,0.5,1,2)")
+    p_sweep.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="loopback workers per level (default: 2)")
+    p_sweep.add_argument("--redundancy", type=float, default=0.0,
+                         metavar="F",
+                         help="fraction of tasks double-executed and "
+                              "cross-checked (default: 0)")
+    p_sweep.add_argument("--json", default=None, metavar="PATH",
+                         help="also dump the survival table as JSON")
+
+    args = parser.parse_args(argv)
+    from repro.chaos.sweep import format_table, run_sweep
+    levels = [float(x) for x in _csv(args.levels)] if args.levels \
+        else None
+    report = run_sweep(seed=args.seed, levels=levels,
+                       workers=args.workers,
+                       redundancy=args.redundancy)
+    print(format_table(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, default=_jsonable)
+        print(f"raw survival table written to {args.json}")
+    ok = all(row["survived"] for row in report["levels"])
+    print("chaos sweep: " + ("SURVIVED — every point settled exactly "
+                             "once, bit-identical to the local baseline"
+                             if ok else "FAILED — see table"))
+    return 0 if ok else 1
 
 
 # -- faults subcommands -------------------------------------------------
@@ -459,6 +546,8 @@ def main(argv=None) -> int:
         return _faults_main(argv[1:])
     if argv and argv[0] == "fabric":
         return _fabric_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     if argv and argv[0] == "perf":
         from repro.experiments import perf
         return perf.main(argv[1:])

@@ -485,9 +485,18 @@ def main(argv: list[str]) -> int:
             snap = run_snapshot(repeat=1, label=args.label)
             append_history(snap, args.history)
         if args.url:
+            import urllib.error
+
             from repro.fabric.httpd import http_json
-            remote = http_json(
-                "GET", args.url.rstrip("/") + "/perf/trend")
+            try:
+                remote = http_json(
+                    "GET", args.url.rstrip("/") + "/perf/trend")
+            except (urllib.error.URLError, ConnectionError,
+                    OSError) as exc:
+                reason = getattr(exc, "reason", None) or exc
+                print(f"coordinator not reachable at {args.url}: "
+                      f"{reason}", file=sys.stderr)
+                return 2
             print(f"  history served by {args.url} "
                   f"({remote.get('history')})")
             entries = remote.get("entries", [])

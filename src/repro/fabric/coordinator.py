@@ -34,6 +34,8 @@ completion payload and land under the coordinator's
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import re
 import threading
@@ -89,18 +91,26 @@ class Coordinator:
     """
 
     def __init__(self, cache=None, retry: RetryPolicy | None = None,
-                 lease_ttl_s: float = 60.0, campaign: str | None = None):
+                 lease_ttl_s: float = 60.0, campaign: str | None = None,
+                 redundancy: float = 0.0, redundancy_seed: int = 0):
         self.cache = cache
         self.retry = retry or RetryPolicy()
         self.queue = queue_mod.LeaseQueue(self.retry, lease_ttl_s)
         self.campaign = campaign
+        self.redundancy = redundancy         # sampled fraction run twice
+        self.redundancy_seed = redundancy_seed
         self.state = protocol.STATE_OK       # flips to shutdown at close
         self.results: dict[str, object] = {}  # key -> RunResult
+        self.quarantined = 0                 # redundancy mismatches seen
+        self.quarantine_events: deque = deque(maxlen=50)
         self.started = time.monotonic()
         self._lock = threading.RLock()
         self._workers: dict[str, _WorkerStats] = {}
         self._dismissed: set[str] = set()    # saw the shutdown state
         self._window: deque = deque()        # (t, n_points) completions
+        self._nmr: dict[str, list[dict]] = {}  # tid -> candidate payloads
+        self._chaos: dict[str, dict] = {}    # worker -> injections by kind
+        self._journaled: dict[int, object] = {}  # stores with journal rows
         self._server: JsonHttpServer | None = None
         self._registry = None
 
@@ -132,9 +142,23 @@ class Coordinator:
         cfg_json = protocol.cfg_to_json(cfg)
         with self._lock:
             for items in grouped_items:
+                tid = items[0][0]
                 self.queue.add(queue_mod.Task(
-                    tid=items[0][0], items=list(items), cfg_json=cfg_json,
-                    context={"store": store, "cfg": cfg}))
+                    tid=tid, items=list(items), cfg_json=cfg_json,
+                    context={"store": store, "cfg": cfg},
+                    redundancy=2 if self._sampled_redundant(tid) else 1))
+
+    def _sampled_redundant(self, tid: str) -> bool:
+        """Deterministic per-task draw for N-modular redundancy: the
+        same (task, seed) pair always lands on the same side, so a
+        resumed campaign re-selects exactly the same double-run set."""
+        if self.redundancy <= 0:
+            return False
+        if self.redundancy >= 1:
+            return True
+        h = int(hashlib.sha256(
+            f"{tid}|{self.redundancy_seed}".encode()).hexdigest()[:8], 16)
+        return h / 0xFFFFFFFF < self.redundancy
 
     def seed_results(self, results: dict) -> None:
         """Pre-fill results resolved before serving (cache hits), so the
@@ -148,6 +172,7 @@ class Coordinator:
         with self._lock:
             for disposition, task in self.queue.expire(now):
                 self._settle_failure(task, disposition)
+            self._journal(now)
 
     def expire_dead_worker(self, worker: str) -> None:
         """A supervisor saw ``worker``'s process die: charge and requeue
@@ -174,12 +199,91 @@ class Coordinator:
             return self.queue.live_keys()
 
     def release_leases(self) -> None:
-        """On shutdown: anything still out on a lease goes back to
-        ``pending`` in its store, so the next run resumes it instead of
-        treating it as running forever."""
+        """On *graceful* shutdown: anything still out on a lease goes
+        back to ``pending`` in its store, so the next run resumes it
+        instead of treating it as running forever.  The lease journal is
+        emptied too — resumption must not re-adopt claims the shutdown
+        just released.  (A crash skips this method, which is exactly why
+        the journal survives for ``--resume`` to adopt.)"""
         with self._lock:
             for lease in list(self.queue._leases.values()):
                 self._mark(lease.task, "pending")
+                del self.queue._leases[lease.lease_id]
+            self._journal(time.monotonic())
+
+    # -- crash safety (lease journal) ----------------------------------
+    def _journal(self, now: float) -> None:
+        """Mirror the live leases into their campaign stores (lock
+        held).  Called after every transition that changes the lease
+        set, so the on-disk journal is never more than one HTTP round
+        behind the queue — the coordinator can die at any instant and
+        ``--resume`` reconstructs exactly the outstanding claims."""
+        by_store: dict[int, tuple[object, list]] = {}
+        for lease in self.queue.live_leases():
+            ctx = lease.task.context
+            store = ctx.get("store") if isinstance(ctx, dict) else None
+            if store is None:
+                continue
+            _, rows = by_store.setdefault(id(store), (store, []))
+            rows.append({
+                "lease_id": lease.lease_id,
+                "worker": lease.worker,
+                "keys": lease.task.keys,
+                "attempt": lease.task.attempt,
+                "redundancy": lease.task.redundancy,
+                "ttl_s": max(lease.deadline - now, 0.0),
+            })
+        for sid, (store, rows) in by_store.items():
+            store.sync_leases(rows)
+            self._journaled[sid] = store
+        # stores whose last lease just closed get one empty sync
+        for sid in [s for s in self._journaled if s not in by_store]:
+            self._journaled.pop(sid).sync_leases([])
+
+    def adopt_leases(self, store, cfg) -> set[str]:
+        """Reconstruct outstanding leases from ``store``'s journal after
+        a coordinator restart; returns the point keys adopted.
+
+        Rows that no longer make sense — points missing from the store,
+        already done/failed, a task id that is already queued here, or a
+        lease id already known — are silently dropped: the points they
+        covered simply re-enter the queue as fresh work, which is always
+        safe (idempotent completion absorbs the worst case of the old
+        worker still finishing).
+        """
+        cfg_json = protocol.cfg_to_json(cfg)
+        now = time.monotonic()
+        adopted: set[str] = set()
+        adopted_tids: set[str] = set()
+        rows = store.outstanding_leases()
+        with self._lock:
+            for row in rows:
+                keys = list(row["keys"])
+                if not keys:
+                    continue
+                tid = keys[0]
+                if row["lease_id"] in self.queue._lease_tid:
+                    continue
+                if tid in self.queue._tasks and tid not in adopted_tids:
+                    continue          # queued as fresh work already
+                known = store.points_by_key(keys)
+                if len(known) != len(keys) or any(
+                        status in ("done", "failed")
+                        for _, status in known.values()):
+                    continue
+                task = queue_mod.Task(
+                    tid=tid, items=[(k, known[k][0]) for k in keys],
+                    cfg_json=cfg_json,
+                    context={"store": store, "cfg": cfg},
+                    attempt=int(row["attempt"]),
+                    redundancy=max(int(row.get("redundancy", 1)), 1))
+                self.queue.adopt(task, row["lease_id"], row["worker"],
+                                 now)
+                adopted_tids.add(tid)
+                store.mark_many(keys, "running")
+                adopted.update(keys)
+            self._journal(now)
+        return adopted
 
     def resolved(self, keys: list[str]) -> bool:
         with self._lock:
@@ -219,16 +323,27 @@ class Coordinator:
         max_tasks = max(1, int(body.get("max_tasks", 1)))
         now = time.monotonic()
         with self._lock:
+            chaos = body.get("chaos")
+            if isinstance(chaos, dict):   # worker ships injection totals
+                self._chaos[worker] = {str(k): int(v)
+                                       for k, v in chaos.items()}
             if self.state == protocol.STATE_SHUTDOWN:
                 self._dismissed.add(worker)
                 return {"state": protocol.STATE_SHUTDOWN}
             for disposition, task in self.queue.expire(now):
                 self._settle_failure(task, disposition)
-            leases = self.queue.lease(worker, now, max_tasks)
             stats = self._worker(worker, now)
+            # A redundant task's sibling grant is withheld from a worker
+            # already running it — unless this worker is the only one
+            # around, where liveness beats the (then pointless) check.
+            allow_self = len([w for w, s in self._workers.items()
+                              if now - s.last_seen <= 10.0]) <= 1
+            leases = self.queue.lease(worker, now, max_tasks,
+                                      allow_self=allow_self)
             stats.granted += len(leases)
             for lease in leases:
                 self._mark(lease.task, "running")
+            self._journal(now)
             if not leases:
                 return {"state": protocol.STATE_IDLE,
                         "drained": self.queue.drained}
@@ -258,20 +373,91 @@ class Coordinator:
                         self._settle_failure(task, disposition)
                     return {"disposition": disposition}
                 disposition, task = self.queue.complete(lease_id, now)
-                if task is not None:
+                if disposition in (queue_mod.OK, queue_mod.LATE) \
+                        and task is not None:
                     artifacts = self._store_artifacts(
                         body.get("artifacts") or [])
                     self._settle_ok(task, results, artifacts)
                     stats.points += len(task.items)
                     stats.window.append((now, len(task.items)))
                     self._window.append((now, len(task.items)))
+                elif disposition in (queue_mod.PARTIAL, queue_mod.VERIFY) \
+                        and task is not None:
+                    self._nmr.setdefault(task.tid, []).append({
+                        "worker": worker, "results": results,
+                        "artifacts": body.get("artifacts") or []})
+                    if disposition == queue_mod.VERIFY:
+                        disposition = self._verify(task, now)
             else:
                 error = str(body.get("error") or "worker reported failure")
                 disposition, task = self.queue.fail(lease_id, error, now)
                 stats.failures += 1
                 if task is not None:
                     self._settle_failure(task, disposition)
+            self._journal(now)
             return {"disposition": disposition}
+
+    def _verify(self, task, now: float) -> str:
+        """Cross-check a redundant task's candidate payloads (lock
+        held).  Unanimity or a majority settles the task with the
+        winning payload; a tie quarantines it and demands a tie-break
+        replay — or fails it once the widened budget is spent."""
+        from repro.chaos import quarantine as quarantine_mod
+        candidates = self._nmr.get(task.tid, [])
+        groups: dict[str, list[dict]] = {}
+        for cand in candidates:
+            blob = json.dumps(cand["results"], sort_keys=True)
+            groups.setdefault(blob, []).append(cand)
+        ranked = sorted(groups.values(), key=len, reverse=True)
+        if len(ranked) == 1 or len(ranked[0]) >= 2:
+            winner = ranked[0][0]
+            if len(ranked) > 1:
+                # majority found after a mismatch: name the liars
+                liars = sorted({c["worker"] for grp in ranked[1:]
+                                for c in grp})
+                self._record_quarantine(
+                    task, candidates, quarantine_mod.VERDICT_MAJORITY,
+                    liars)
+            self.queue.settle(task.tid)
+            self._settle_ok(task, winner["results"],
+                            self._store_artifacts(winner["artifacts"]))
+            stats = self._worker(winner["worker"], now)
+            stats.points += len(task.items)
+            stats.window.append((now, len(task.items)))
+            self._window.append((now, len(task.items)))
+            del self._nmr[task.tid]
+            return queue_mod.OK
+        # Every candidate distinct: quarantine and replay for majority.
+        self.quarantined += 1
+        self._record_quarantine(task, candidates,
+                                quarantine_mod.VERDICT_MISMATCH, [])
+        disposition, _ = self.queue.reopen(task.tid, now)
+        if disposition == queue_mod.FAILED:
+            self._record_quarantine(task, candidates,
+                                    quarantine_mod.VERDICT_EXHAUSTED, [])
+            self.queue.note_error(
+                task.tid, "redundant executions disagreed and the retry "
+                "budget is spent (see results/quarantine/)")
+            self._settle_failure(task, queue_mod.FAILED)
+            del self._nmr[task.tid]
+            return queue_mod.FAILED
+        self._mark(task, "pending")
+        return "quarantined"
+
+    def _record_quarantine(self, task, candidates: list[dict],
+                           verdict: str, liars: list[str]) -> None:
+        from repro.chaos import quarantine as quarantine_mod
+        payload = quarantine_mod.quarantine_payload(
+            task, candidates, verdict, liars=liars,
+            need=self.queue._need.get(task.tid, task.redundancy))
+        try:
+            path = str(quarantine_mod.write_quarantine(payload))
+        except OSError:
+            path = None                     # diagnostics must not wedge
+        self.quarantine_events.append({
+            "task": task.tid, "verdict": verdict, "liars": liars,
+            "workers": sorted({c["worker"] for c in candidates}),
+            "path": path})
 
     # -- settlement (lock held) ----------------------------------------
     def _settle_ok(self, task, results_json: list,
@@ -363,7 +549,21 @@ class Coordinator:
                 "queue": self.queue.counters.to_json(),
                 "workers": {w: s.to_json(now)
                             for w, s in self._workers.items()},
+                "chaos": self._chaos_totals(),
+                "quarantine": {
+                    "total": self.quarantined,
+                    "events": list(self.quarantine_events),
+                },
             }
+
+    def _chaos_totals(self) -> dict[str, int]:
+        """Fault injections aggregated across workers, by kind (lock
+        held) — non-empty only when workers run under a chaos plan."""
+        totals: dict[str, int] = {}
+        for counts in self._chaos.values():
+            for kind, n in counts.items():
+                totals[kind] = totals.get(kind, 0) + n
+        return {k: totals[k] for k in sorted(totals)}
 
     def _h_result(self, key: str) -> dict:
         if not re.fullmatch(r"[0-9a-f]{8,64}", key):
@@ -393,7 +593,11 @@ class Coordinator:
                     ("duplicates", "duplicate completions discarded"),
                     ("expiries", "leases expired past their deadline"),
                     ("requeues", "tasks re-queued for retry"),
-                    ("failures", "tasks failed permanently")]:
+                    ("failures", "tasks failed permanently"),
+                    ("partials", "redundant completions awaiting "
+                                 "their siblings"),
+                    ("reopens", "tie-break replays after redundancy "
+                                "mismatches")]:
                 reg.gauge(f"fabric_{name}_total", help_,
                           lambda n=name: getattr(counters, n))
             reg.multi_gauge("fabric_points", "points by lifecycle state",
@@ -402,6 +606,13 @@ class Coordinator:
                                 self.queue.point_counts().items()))
             reg.gauge("fabric_workers", "workers ever seen",
                       lambda: len(self._workers))
+            reg.gauge("fabric_quarantined_total",
+                      "redundant-execution mismatches quarantined",
+                      lambda: self.quarantined)
+            reg.multi_gauge("fabric_chaos_injected_total",
+                            "transport faults injected by the chaos "
+                            "layer, as reported by workers", "kind",
+                            lambda: list(self._chaos_totals().items()))
             reg.gauge("fabric_points_per_s",
                       "aggregate completion rate over the rate window",
                       lambda: self.status()["points_per_s"])

@@ -46,13 +46,20 @@ class FabricSession:
     def __init__(self, cache=None, retry: RetryPolicy | None = None,
                  lease_ttl_s: float = 60.0, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 0,
-                 campaign: str | None = None):
+                 campaign: str | None = None,
+                 redundancy: float = 0.0, redundancy_seed: int = 0,
+                 resume: bool = False, chaos_token: str | None = None):
         self.coordinator = Coordinator(cache=cache, retry=retry,
                                        lease_ttl_s=lease_ttl_s,
-                                       campaign=campaign)
+                                       campaign=campaign,
+                                       redundancy=redundancy,
+                                       redundancy_seed=redundancy_seed)
         self.url = self.coordinator.start(host, port)
+        self.resume = resume          # adopt journaled leases on run()
+        self.chaos_token = chaos_token
         self._ctx = pool_context()
         self._workers: dict[str, object] = {}      # worker_id -> Process
+        self._spawns = 0              # session-local chaos salt stream
         self.respawns = 0
         for _ in range(workers):
             self.spawn_worker()
@@ -60,10 +67,16 @@ class FabricSession:
     # -- local worker supervision --------------------------------------
     def spawn_worker(self) -> str:
         wid = f"loopback-{os.getpid()}-{next(self._ids)}"
+        self._spawns += 1
+        kwargs = {"worker_id": wid, "poll_s": _POLL_S}
+        if self.chaos_token:
+            # salt by spawn index: siblings share a plan but not a
+            # fault stream, and a respawned worker gets a fresh one
+            kwargs.update(chaos_token=self.chaos_token,
+                          chaos_salt=self._spawns)
         proc = self._ctx.Process(target=worker_process_main,
                                  args=(self.url,),
-                                 kwargs={"worker_id": wid,
-                                         "poll_s": _POLL_S},
+                                 kwargs=kwargs,
                                  daemon=True)
         proc.start()
         self._workers[wid] = proc
@@ -135,7 +148,9 @@ class FabricExecutor:
                  workers: int = 2, retry: RetryPolicy | None = None,
                  progress=None, auto_batch: bool = True,
                  session: FabricSession | None = None,
-                 lease_ttl_s: float = 60.0):
+                 lease_ttl_s: float = 60.0,
+                 redundancy: float = 0.0,
+                 resume: bool | None = None):
         self.cfg = cfg
         self.cache = cache
         self.store = store
@@ -146,6 +161,12 @@ class FabricExecutor:
             os.environ.get("REPRO_NO_BATCH") != "1"
         self.session = session
         self.lease_ttl_s = lease_ttl_s
+        self.redundancy = redundancy   # only used for ephemeral sessions
+        # resume (adopt journaled leases) follows the session's setting
+        # unless overridden; an ephemeral session has no prior life to
+        # resume, so the default is False there.
+        self.resume = resume if resume is not None else \
+            (session.resume if session is not None else False)
         self.summary: dict = {}
 
     # ------------------------------------------------------------------
@@ -161,8 +182,20 @@ class FabricExecutor:
 
         session = self.session
         owns_session = session is None
+        adopted: set = set()
         if self.store is not None:
             self.store.register(list(unique.items()))
+            if session is not None and self.resume:
+                # Crash recovery: re-create the leases a previous
+                # coordinator journaled before dying, restricted to the
+                # points this run actually wants.
+                adopted = session.coordinator.adopt_leases(
+                    self.store, self.cfg) & set(unique)
+            else:
+                # Fresh run: stale journal rows (from a crash nobody
+                # resumed) must not outlive this campaign — the live
+                # session re-journals its own leases as it grants them.
+                self.store.clear_leases()
             live = session.coordinator.live_lease_keys() \
                 if session is not None else ()
             self.store.reset_running(exclude=live)
@@ -172,12 +205,13 @@ class FabricExecutor:
         if self.cache is not None:
             for key, point in unique.items():
                 hit = self.cache.get(key)
-                if hit is not None:
+                if hit is not None and key not in adopted:
                     results[key] = hit
                     cached += 1
                     if self.store is not None:
                         self.store.mark(key, "done")
-        pending = [(k, p) for k, p in unique.items() if k not in results]
+        pending = [(k, p) for k, p in unique.items()
+                   if k not in results and k not in adopted]
         grouped = group_items(pending, self.auto_batch)
 
         state = {"total": len(unique), "cached": cached, "done": 0,
@@ -187,7 +221,8 @@ class FabricExecutor:
             self._warm_fork_cache(grouped)
             session = FabricSession(cache=self.cache, retry=self.retry,
                                     lease_ttl_s=self.lease_ttl_s,
-                                    workers=self.workers)
+                                    workers=self.workers,
+                                    redundancy=self.redundancy)
         fabric_info = {
             "url": session.url if session is not None else None,
             "loopback_workers": session.n_workers
@@ -195,12 +230,13 @@ class FabricExecutor:
             "respawns": 0,
         }
         try:
-            if grouped:
+            if grouped or adopted:
                 coord = session.coordinator
                 coord.seed_results(results)
-                coord.submit(grouped, self.cfg, self.store)
-                self._wait(coord, session, [k for k, _ in pending],
-                           results, state)
+                if grouped:
+                    coord.submit(grouped, self.cfg, self.store)
+                wait_keys = [k for k, _ in pending] + sorted(adopted)
+                self._wait(coord, session, wait_keys, results, state)
         finally:
             if session is not None:
                 fabric_info["respawns"] = session.respawns

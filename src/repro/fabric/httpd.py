@@ -14,6 +14,7 @@ The client side is ``urllib.request`` — workers are sequential by design
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import threading
 import traceback
@@ -24,9 +25,19 @@ import urllib.request
 #: full RunResults is ~100 KB; 64 MB leaves room for metrics artifacts.
 MAX_BODY = 64 * 1024 * 1024
 
+#: end-to-end payload integrity: clients send a SHA-256 of the body in
+#: this header and the server rejects any body that does not match with
+#: a 400.  A bit flipped in flight (or by the chaos layer) can therefore
+#: never settle a corrupted result — the worker just retries.
+CHECKSUM_HEADER = "x-body-checksum"
+
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
             500: "Internal Server Error"}
+
+
+def body_checksum(body: bytes) -> str:
+    return hashlib.sha256(body).hexdigest()
 
 
 class HttpError(Exception):
@@ -114,8 +125,19 @@ class JsonHttpServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, body, keep_alive = request
-                status, payload, ctype = self._dispatch(method, path, body)
+                method, path, body, keep_alive, framing_error = request
+                if framing_error is not None:
+                    # A mangled request (truncated body, checksum
+                    # mismatch, oversize) gets an explicit 400 so the
+                    # sender can retry, instead of a silently dropped
+                    # connection; the stream offset is unreliable after
+                    # bad framing, so the connection always closes.
+                    status, payload, ctype = 400, \
+                        {"error": framing_error}, "application/json"
+                    keep_alive = False
+                else:
+                    status, payload, ctype = \
+                        self._dispatch(method, path, body)
                 blob = payload if isinstance(payload, bytes) else \
                     payload.encode() if isinstance(payload, str) else \
                     json.dumps(payload).encode()
@@ -139,6 +161,13 @@ class JsonHttpServer:
                 pass
 
     async def _read_request(self, reader):
+        """One parsed request, or None when the connection is done.
+
+        Returns ``(method, target, body, keep_alive, framing_error)``;
+        a non-None ``framing_error`` means the request envelope itself
+        was bad (truncated body, checksum mismatch, oversize) and the
+        caller must answer 400 and close.
+        """
         try:
             line = await reader.readline()
         except (ConnectionResetError, asyncio.LimitOverrunError):
@@ -156,13 +185,32 @@ class JsonHttpServer:
                 break
             name, _, value = hline.decode().partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", 0) or 0)
-        if length > MAX_BODY:
-            return None
-        body = await reader.readexactly(length) if length else b""
         keep_alive = headers.get("connection", "keep-alive").lower() \
             != "close" and version.upper() == "HTTP/1.1"
-        return method.upper(), target, body, keep_alive
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY:
+            return (method.upper(), target, b"", False,
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY}-byte ceiling")
+        body = b""
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                # Content-Length promised more bytes than arrived: the
+                # body was truncated in flight.  Reject explicitly so
+                # the sender retries instead of the payload being
+                # partially parsed (or the connection silently dying).
+                return (method.upper(), target, b"", False,
+                        f"truncated request body: Content-Length "
+                        f"declared {length} bytes, got "
+                        f"{len(exc.partial)}")
+        declared = headers.get(CHECKSUM_HEADER)
+        if declared is not None and declared != body_checksum(body):
+            return (method.upper(), target, b"", False,
+                    "request body failed its integrity checksum "
+                    "(corrupted in flight)")
+        return method.upper(), target, body, keep_alive, None
 
     def _dispatch(self, method: str, target: str, raw: bytes):
         path = target.split("?", 1)[0]
@@ -193,10 +241,12 @@ def http_json(method: str, url: str, payload: dict | None = None,
               timeout: float = 30.0):
     """One JSON request/response round-trip (raises on non-2xx)."""
     data = None if payload is None else json.dumps(payload).encode()
-    req = urllib.request.Request(
-        url, data=data, method=method,
-        headers={"Content-Type": "application/json",
-                 "Connection": "close"})
+    headers = {"Content-Type": "application/json",
+               "Connection": "close"}
+    if data is not None:
+        headers[CHECKSUM_HEADER] = body_checksum(data)
+    req = urllib.request.Request(url, data=data, method=method,
+                                 headers=headers)
     try:
         with urllib.request.urlopen(req, timeout=timeout) as resp:
             blob = resp.read()

@@ -127,3 +127,108 @@ class TestThroughput:
 
     def test_throughput_empty(self, store):
         assert store.throughput() == (0, 0.0)
+
+
+class TestLeaseJournal:
+    def test_sync_and_outstanding_round_trip(self, store):
+        store.register(points(3))
+        store.sync_leases([
+            {"lease_id": "L1", "worker": "w1", "keys": ["k0", "k1"],
+             "attempt": 2, "redundancy": 1, "ttl_s": 30.0},
+            {"lease_id": "L2", "worker": "w2", "keys": ["k2"],
+             "attempt": 1, "redundancy": 2, "ttl_s": 30.0},
+        ])
+        rows = store.outstanding_leases()
+        assert [r["lease_id"] for r in rows] == ["L1", "L2"]
+        assert rows[0]["keys"] == ["k0", "k1"]
+        assert rows[0]["attempt"] == 2
+        assert rows[1]["redundancy"] == 2
+        assert all(r["deadline"] > time.time() for r in rows)
+
+    def test_sync_is_full_replacement(self, store):
+        store.sync_leases([{"lease_id": "L1", "worker": "w", "keys": ["a"],
+                            "attempt": 1, "ttl_s": 10.0}])
+        store.sync_leases([{"lease_id": "L2", "worker": "w", "keys": ["b"],
+                            "attempt": 1, "ttl_s": 10.0}])
+        assert [r["lease_id"] for r in store.outstanding_leases()] == ["L2"]
+        store.sync_leases([])
+        assert store.outstanding_leases() == []
+
+    def test_clear_leases(self, store):
+        store.sync_leases([{"lease_id": "L1", "worker": "w", "keys": ["a"],
+                            "attempt": 1, "ttl_s": 10.0}])
+        assert store.clear_leases() == 1
+        assert store.outstanding_leases() == []
+        assert store.clear_leases() == 0
+
+    def test_journal_survives_reopen(self, store, tmp_path):
+        """The crash-recovery path: a new store (a restarted
+        coordinator) reads the journal the dead one wrote."""
+        store.register(points(1))
+        store.sync_leases([{"lease_id": "L9", "worker": "w", "keys": ["k0"],
+                            "attempt": 1, "ttl_s": 60.0}])
+        reopened = CampaignStore(tmp_path / "campaign.sqlite")
+        try:
+            rows = reopened.outstanding_leases()
+            assert [r["lease_id"] for r in rows] == ["L9"]
+        finally:
+            reopened.close()
+
+    def test_points_by_key_returns_point_and_status(self, store):
+        store.register(points(2))
+        store.mark("k1", "done")
+        got = store.points_by_key(["k0", "k1", "missing"])
+        assert set(got) == {"k0", "k1"}
+        assert got["k0"][1] == "pending"
+        assert got["k1"][1] == "done"
+        assert got["k0"][0].pattern == "uniform"
+
+
+class TestResetRunningRace:
+    def test_reset_running_racing_mark_many(self, store):
+        """A resuming coordinator's reset_running(exclude=live) runs
+        concurrently with lease transitions marking tasks running: no
+        exception, no lost point, and every excluded (live) key is
+        never clobbered back to pending by the sweep."""
+        n = 60
+        store.register(points(n))
+        live = [f"k{i}" for i in range(0, n, 2)]     # will be excluded
+        stale = [f"k{i}" for i in range(1, n, 2)]
+        store.mark_many(stale, "running")            # crash leftovers
+        errors: list = []
+        start = threading.Barrier(3)
+
+        def marker():
+            try:
+                start.wait()
+                for key in live:
+                    store.mark_many([key], "running")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def resetter():
+            try:
+                start.wait()
+                for _ in range(10):
+                    store.reset_running(exclude=live)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=marker),
+                   threading.Thread(target=resetter)]
+        for t in threads:
+            t.start()
+        start.wait()
+        for t in threads:
+            t.join(timeout=30)
+        assert errors == []
+        # One final sweep after the dust settles: the live keys must
+        # still be running (they were excluded every time), the stale
+        # ones pending.
+        store.reset_running(exclude=live)
+        for key in live:
+            assert store.status_of(key) == "running"
+        for key in stale:
+            assert store.status_of(key) == "pending"
+        counts = store.counts()
+        assert sum(counts.values()) == n             # nothing lost

@@ -191,3 +191,171 @@ class TestResultsService:
             "".join(json.dumps(e) + "\n" for e in entries))
         out = http_json("GET", f"{url}/perf/trend")
         assert out["entries"] == entries
+
+
+class TestFramingIntegrity:
+    """Satellite hardening: a mangled request body must be rejected
+    with an explicit 400 — never partially parsed, never settled."""
+
+    def test_truncated_body_is_400(self, coord):
+        _, url = coord
+        from repro.chaos.transport import _raw_post
+        from repro.fabric.httpd import body_checksum
+        body = json.dumps({"worker": "w1", "version":
+                           protocol.PROTOCOL_VERSION}).encode()
+        status, blob = _raw_post(f"{url}/lease", body[: len(body) // 2],
+                                 declared_len=len(body),
+                                 checksum=body_checksum(body),
+                                 shut_wr=True)
+        assert status == 400
+        assert "truncated" in json.loads(blob)["error"]
+
+    def test_corrupted_body_fails_checksum_with_400(self, coord):
+        _, url = coord
+        from repro.chaos.transport import _raw_post
+        from repro.fabric.httpd import body_checksum
+        body = json.dumps({"worker": "w1", "version":
+                           protocol.PROTOCOL_VERSION}).encode()
+        mangled = bytearray(body)
+        mangled[5] ^= 0x40
+        status, blob = _raw_post(f"{url}/lease", bytes(mangled),
+                                 declared_len=len(body),
+                                 checksum=body_checksum(body))
+        assert status == 400
+        assert "checksum" in json.loads(blob)["error"]
+
+    def test_mangled_completion_settles_nothing(self, coord):
+        """The case that matters: a corrupted /complete is refused, the
+        task stays leased, and the intact retry settles it exactly
+        once."""
+        c, url = coord
+        from repro.chaos.transport import _raw_post
+        from repro.fabric.httpd import body_checksum
+        submit_one(c)
+        resp = http_json("POST", f"{url}/lease", {
+            "version": protocol.PROTOCOL_VERSION, "worker": "w1"})
+        lease = resp["leases"][0]
+        payload = {"lease_id": lease["lease_id"], "worker": "w1",
+                   "ok": True, "results": [result_to_json(result())]}
+        body = json.dumps(payload).encode()
+        mangled = bytearray(body)
+        mangled[-10] ^= 0x01
+        status, _ = _raw_post(f"{url}/complete", bytes(mangled),
+                              declared_len=len(body),
+                              checksum=body_checksum(body))
+        assert status == 400
+        assert c.queue.counts()["leased"] == 1   # nothing settled
+        out = http_json("POST", f"{url}/complete", payload)
+        assert out["disposition"] == "ok"
+        assert c.queue.counts()["done"] == 1
+
+
+class TestDuplicatedDelivery:
+    def test_duplicated_complete_settles_exactly_once(self, coord):
+        """The chaos DUPLICATE fault deterministically reaches this
+        path: the same completion delivered twice settles once and the
+        second delivery reports 'duplicate'."""
+        c, url = coord
+        submit_one(c)
+        resp = http_json("POST", f"{url}/lease", {
+            "version": protocol.PROTOCOL_VERSION, "worker": "w1"})
+        payload = {"lease_id": resp["leases"][0]["lease_id"],
+                   "worker": "w1", "ok": True,
+                   "results": [result_to_json(result())]}
+        first = http_json("POST", f"{url}/complete", payload)
+        second = http_json("POST", f"{url}/complete", payload)
+        assert first["disposition"] == "ok"
+        assert second["disposition"] == "duplicate"
+        assert c.queue.counts()["done"] == 1
+        assert c.queue.counters.completed == 1
+        assert c.queue.counters.duplicates == 1
+
+
+class TestChaosSurface:
+    def test_worker_chaos_totals_reach_status_and_metrics(self, coord):
+        c, url = coord
+        http_json("POST", f"{url}/lease", {
+            "version": protocol.PROTOCOL_VERSION, "worker": "w1",
+            "chaos": {"drop": 3, "reset": 1}})
+        http_json("POST", f"{url}/lease", {
+            "version": protocol.PROTOCOL_VERSION, "worker": "w2",
+            "chaos": {"drop": 2}})
+        status = http_json("GET", f"{url}/status")
+        assert status["chaos"] == {"drop": 5, "reset": 1}
+        assert status["quarantine"]["total"] == 0
+        req = urllib.request.Request(f"{url}/metrics")
+        text = urllib.request.urlopen(req, timeout=10).read().decode()
+        assert 'fabric_chaos_injected_total{kind="drop"} 5' in text
+        assert "fabric_quarantined_total 0" in text
+
+
+class TestRedundancyVerification:
+    def _lease_for(self, url, worker):
+        resp = http_json("POST", f"{url}/lease", {
+            "version": protocol.PROTOCOL_VERSION, "worker": worker})
+        leases = resp.get("leases") or []
+        return leases[0] if leases else None
+
+    def _complete(self, url, lease, worker, res):
+        return http_json("POST", f"{url}/complete", {
+            "lease_id": lease["lease_id"], "worker": worker, "ok": True,
+            "results": [result_to_json(res)]})["disposition"]
+
+    def test_agreeing_replicas_settle_once(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        c = Coordinator(retry=RetryPolicy(max_attempts=2, backoff_s=0.0),
+                        lease_ttl_s=30.0, redundancy=1.0)
+        url = c.start("127.0.0.1", 0)
+        try:
+            submit_one(c)
+            l1 = self._lease_for(url, "w1")
+            l2 = self._lease_for(url, "w2")
+            assert self._complete(url, l1, "w1", result()) == "partial"
+            assert self._complete(url, l2, "w2", result()) == "ok"
+            assert c.queue.counts()["done"] == 1
+            assert c.quarantined == 0
+            assert KEY in c.results
+        finally:
+            c.stop()
+
+    def test_lying_worker_is_quarantined_then_outvoted(self, monkeypatch,
+                                                       tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.chaos.quarantine import validate_quarantine
+        c = Coordinator(retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+                        lease_ttl_s=30.0, redundancy=1.0)
+        url = c.start("127.0.0.1", 0)
+        try:
+            submit_one(c)
+            honest = result()
+            lie = result()
+            lie.avg_latency = 999.0                  # perturbed stat
+            l1 = self._lease_for(url, "honest-1")
+            l2 = self._lease_for(url, "liar")
+            assert self._complete(url, l1, "honest-1", honest) == "partial"
+            assert self._complete(url, l2, "liar", lie) == "quarantined"
+            assert c.quarantined == 1
+            # Tie-break replay goes out; an honest third vote wins.
+            l3 = self._lease_for(url, "honest-2")
+            assert l3 is not None
+            assert self._complete(url, l3, "honest-2", honest) == "ok"
+            assert c.queue.counts()["done"] == 1
+            assert c.results[KEY].avg_latency == honest.avg_latency
+            # The post-mortem trail: a mismatch record, then a majority
+            # verdict naming the liar.
+            records = sorted((tmp_path / "quarantine").glob("*.json"))
+            assert len(records) == 2
+            payloads = [validate_quarantine(json.loads(p.read_text()))
+                        for p in records]
+            verdicts = {p["verdict"] for p in payloads}
+            assert verdicts == {"mismatch", "settled_majority"}
+            majority = next(p for p in payloads
+                            if p["verdict"] == "settled_majority")
+            assert majority["liars"] == ["liar"]
+            assert any(d["field"] == "avg_latency"
+                       for p in payloads for d in p["diff"])
+            status = c.status()
+            assert status["quarantine"]["total"] == 1
+            assert len(status["quarantine"]["events"]) == 2
+        finally:
+            c.stop()
