@@ -51,9 +51,15 @@ def code_version() -> str:
 
 def point_key(point: Point, cfg: SimConfig, salt: str) -> str:
     """The content address of one (point, config, code-version) run."""
+    cfg_payload = dataclasses.asdict(cfg)
+    # The cycle engine is excluded from the key: every engine is required
+    # to produce bit-identical results (differentially enforced), so the
+    # engine knob decides *how fast* a point runs, never what it computes
+    # — a cache warmed by one engine must serve every other.
+    cfg_payload.pop("engine", None)
     payload = {
         "point": point.to_json(),
-        "cfg": dataclasses.asdict(cfg),
+        "cfg": cfg_payload,
         "salt": salt,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

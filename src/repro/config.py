@@ -55,6 +55,16 @@ class SimConfig:
     drain_period_cycles: int = 64000
     pitstop_token_cycles: int = 8   # cycles the bypass token rests per router
 
+    # Engine selection ---------------------------------------------------
+    #: cycle-engine: ``"active"`` (active-set scalar loop, the default),
+    #: ``"naive"`` (the all-components sweep, for differential tests), or
+    #: ``"soa"`` (the vectorized structure-of-arrays kernel — requires
+    #: numpy; falls back to the scalar loop for schemes/features the
+    #: arrays cannot express).  All engines are bit-identical by
+    #: construction and differential test, so the engine choice is
+    #: excluded from campaign cache keys.
+    engine: str = "active"
+
     # Robustness surface ------------------------------------------------
     #: fault schedule for this run; ``None`` disables the injector entirely
     #: (the hot path then carries no fault checks beyond one None test).
@@ -85,6 +95,10 @@ class SimConfig:
         if self.fastpass_slot_cycles is not None \
                 and self.fastpass_slot_cycles < 1:
             raise ValueError("FastPass slot must be positive")
+        if self.engine not in ("active", "naive", "soa"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                "choose from 'active', 'naive', 'soa'")
         if self.paranoia < 0:
             raise ValueError("paranoia interval must be non-negative")
         if self.liveness_bound_cycles < 0:

@@ -63,6 +63,10 @@ class FastPassManager:
         self._last_phase = -1
         self.upgrades = 0
         self.upgrades_from_injection = 0
+        #: SoA-kernel hook: a shared list ``_take_slot`` appends its
+        #: ``(router, slot)`` to, so the kernel can re-mirror exactly the
+        #: slots an upgrade mutated.  ``None`` — and free — otherwise.
+        self.slot_sink = None
         #: injection-queue scan order: request queue first (Qn 2 / Qn 6)
         self._cls_order = [MessageClass.REQUEST] + \
             [m for m in MessageClass if m != MessageClass.REQUEST]
@@ -165,14 +169,23 @@ class FastPassManager:
             n = len(router.all_slots)
             start = self._scan_rr[c] % n
             nv = router.n_vcs_total
+            cols = self._cols
             cands = []
             for slot in occ:
                 pkt = slot.pkt
                 if pkt is not None and slot.ready_at <= now:
+                    # The cheap structural half of _eligible, hoisted so
+                    # ineligible slots never reach the sort (selection is
+                    # per-slot, so prefiltering picks the same winner).
+                    dst = pkt.dst
+                    if dst == prime or dst % cols != tcol:
+                        continue
                     cands.append(
                         ((slot.port * nv + slot.vc - start) % n, slot))
             if cands:
-                cands.sort(key=lambda t: t[0])
+                # Offsets are unique per slot, so tuple sort never falls
+                # through to comparing slots.
+                cands.sort()
                 for off, slot in cands:
                     pkt = slot.pkt
                     if self._eligible(pkt, prime, tcol, now, slot_end):
@@ -201,6 +214,8 @@ class FastPassManager:
 
     def _take_slot(self, ni, router, slot, pkt, now: int) -> None:
         router.disturb()           # the upgrade empties (or refills) a slot
+        if self.slot_sink is not None:
+            self.slot_sink.append((router, slot))
         slot.pkt = None
         self.net.buffered -= 1
         rejected = self._pending_rejected(ni)

@@ -15,6 +15,14 @@ reported as a hard failure unless ``--allow-result-drift`` is given.
 Points run directly through :class:`repro.sim.engine.Simulation` — never
 through the campaign cache — so the measured wall time is always a real
 execution.
+
+``--soa`` adds the SoA-kernel A/B: the saturated :data:`SOA_POINTS`
+(uniform/transpose at 0.2 and 0.3 on 8x8 and 16x16 meshes) timed
+interleaved under the active-set engine and the ``engine="soa"``
+vectorized kernel, bit-identity checked every repeat (drift exits 2),
+with the gated blocked-regime points required to clear
+``--soa-fail-under`` (default 2x) and the record committed as
+``BENCH_soa.json``.
 """
 
 from __future__ import annotations
@@ -46,6 +54,26 @@ SNAPSHOT_POINTS = [
 SNAPSHOT_SEED = 7
 DEFAULT_FAIL_UNDER = 0.75
 
+#: Saturated-regime A/B workload for the SoA-kernel gate:
+#: ``(scheme, scheme_kwargs, pattern, rate, rows, cols)``.  Rates 0.2
+#: and 0.3 put every point past (or at) saturation — the regime the SoA
+#: kernel targets — on the paper's 8x8 mesh plus a 16x16 scaling point.
+SOA_POINTS = [
+    ("fastpass", {}, "uniform", 0.2, 8, 8),
+    ("fastpass", {}, "uniform", 0.3, 8, 8),
+    ("fastpass", {}, "transpose", 0.2, 8, 8),
+    ("fastpass", {}, "transpose", 0.3, 8, 8),
+    ("escapevc", {}, "uniform", 0.2, 8, 8),
+    ("escapevc", {}, "uniform", 0.3, 8, 8),
+    ("fastpass", {}, "uniform", 0.2, 16, 16),
+    ("fastpass", {}, "uniform", 0.3, 16, 16),
+]
+
+#: floor for the SoA gate: the kernel must be >= 2x the active-set
+#: engine on the gated (blocked-saturated) points — the PR's acceptance
+#: number, with the reference machine measuring 2.7-7.5x (BENCH_soa.json)
+DEFAULT_SOA_FAIL_UNDER = 2.0
+
 #: rates whose aggregate batch-vs-scalar speedup the batch gate watches
 #: (low load is where R-replica sweeps spend their time)
 BATCH_GATE_RATES = (0.02, 0.05)
@@ -61,9 +89,17 @@ RESULT_FIELDS = ("injected", "ejected", "avg_latency", "p99_latency",
                  "deadlocked", "cycles")
 
 
-def snapshot_config() -> SimConfig:
+def snapshot_config(engine: str = "active") -> SimConfig:
     return SimConfig(rows=8, cols=8, warmup_cycles=200,
-                     measure_cycles=1000, drain_cycles=1500)
+                     measure_cycles=1000, drain_cycles=1500,
+                     engine=engine)
+
+
+def soa_config(rows: int, cols: int, engine: str) -> SimConfig:
+    """Same protocol as :func:`snapshot_config` on a sized mesh."""
+    return SimConfig(rows=rows, cols=cols, warmup_cycles=200,
+                     measure_cycles=1000, drain_cycles=1500,
+                     engine=engine)
 
 
 def point_key(scheme: str, kwargs: dict, pattern: str, rate: float) -> str:
@@ -72,15 +108,16 @@ def point_key(scheme: str, kwargs: dict, pattern: str, rate: float) -> str:
 
 
 def _run_one(scheme_name: str, kwargs: dict, pattern: str, rate: float,
-             repeat: int) -> dict:
+             repeat: int, engine: str = "active") -> dict:
     from repro.schemes import get_scheme
     from repro.sim.engine import Simulation
     from repro.traffic.synthetic import SyntheticTraffic
 
     best = None
     res = None
+    sim = None
     for _ in range(max(1, repeat)):
-        sim = Simulation(snapshot_config(),
+        sim = Simulation(snapshot_config(engine),
                          get_scheme(scheme_name, **kwargs),
                          SyntheticTraffic(pattern, rate, seed=SNAPSHOT_SEED))
         t0 = time.perf_counter()
@@ -94,6 +131,7 @@ def _run_one(scheme_name: str, kwargs: dict, pattern: str, rate: float,
         "scheme_kwargs": kwargs,
         "pattern": pattern,
         "rate": rate,
+        "engine": sim.engine_used,
         "cycles": res.cycles,
         "wall_s": best,
         "cycles_per_sec": res.cycles / best if best else float("inf"),
@@ -105,10 +143,11 @@ def _run_one(scheme_name: str, kwargs: dict, pattern: str, rate: float,
     }
 
 
-def run_snapshot(repeat: int = 1, label: str | None = None) -> dict:
+def run_snapshot(repeat: int = 1, label: str | None = None,
+                 engine: str = "active") -> dict:
     points = []
     for scheme, kwargs, pattern, rate in SNAPSHOT_POINTS:
-        pt = _run_one(scheme, kwargs, pattern, rate, repeat)
+        pt = _run_one(scheme, kwargs, pattern, rate, repeat, engine)
         print(f"  {pt['key']:40s} {pt['cycles']:>6d} cycles  "
               f"{pt['wall_s'] * 1e3:8.1f} ms  "
               f"{pt['cycles_per_sec']:10.0f} cyc/s")
@@ -123,6 +162,7 @@ def run_snapshot(repeat: int = 1, label: str | None = None) -> dict:
         "machine": platform.machine(),
         "seed": SNAPSHOT_SEED,
         "repeat": repeat,
+        "engine": engine,
         "total_wall_s": total_wall,
         "total_cycles_per_sec": (total_cycles / total_wall
                                  if total_wall else float("inf")),
@@ -226,6 +266,114 @@ def run_batch_snapshot(replicas: int = 8, repeat: int = 3) -> dict:
     return snap
 
 
+# -- SoA-kernel A/B ------------------------------------------------------
+
+class ResultDrift(RuntimeError):
+    """Two engines produced different simulation results for one seed —
+    the bit-identity contract is broken, which is always a hard error
+    (exit 2), never a perf number."""
+
+
+def _soa_gated(scheme: str, pattern: str) -> bool:
+    """True for the points the >=2x speedup gate watches.
+
+    The SoA kernel targets the *blocked* saturated regime — many ready
+    heads contending for few credits, where the vectorized screen
+    replaces per-head python scans.  fastpass/uniform at rates >= 0.2
+    is that regime on both mesh sizes.  transpose and escapevc stay
+    free-flowing at these rates (few simultaneous ready heads), where
+    the scalar active-set loop is already near-optimal; those points
+    are recorded for the record but not speed-gated.
+    """
+    return scheme == "fastpass" and pattern == "uniform"
+
+
+def run_soa_snapshot(repeat: int = 3) -> dict:
+    """Interleaved A/B: active-set scalar engine vs the SoA kernel, per
+    saturated point.
+
+    Same protocol as the batch gate: A and B alternate within each
+    repeat (best-of-N per side) so machine noise hits both equally, and
+    every repeat cross-checks the two engines' simulation results
+    field-by-field — any mismatch raises :class:`ResultDrift`.  The SoA
+    side must actually run on the kernel: a silent fallback to the
+    scalar path would make the A/B meaningless, so it raises too.
+    """
+    from repro.schemes import get_scheme
+    from repro.sim import soa
+    from repro.sim.engine import Simulation
+    from repro.traffic.synthetic import SyntheticTraffic
+
+    soa.require_numpy()
+    points = []
+    for scheme, kwargs, pattern, rate, rows, cols in SOA_POINTS:
+        key = (point_key(scheme, kwargs, pattern, rate)
+               + f"/{rows}x{cols}")
+        best = {"active": None, "soa": None}
+        cycles = 0
+        for _ in range(max(1, repeat)):
+            fields = {}
+            for engine in ("active", "soa"):
+                sim = Simulation(
+                    soa_config(rows, cols, engine),
+                    get_scheme(scheme, **kwargs),
+                    SyntheticTraffic(pattern, rate, seed=SNAPSHOT_SEED))
+                t0 = time.perf_counter()
+                res = sim.run()
+                wall = time.perf_counter() - t0
+                if engine == "soa" and sim.engine_used != "soa":
+                    raise RuntimeError(
+                        f"SoA side of {key} ran as "
+                        f"{sim.engine_used!r}; the A/B would compare "
+                        "the scalar engine against itself")
+                fields[engine] = _result_fields(res)
+                cycles = res.cycles
+                if best[engine] is None or wall < best[engine]:
+                    best[engine] = wall
+            if any(not _same(fields["active"][f], fields["soa"][f])
+                   for f in RESULT_FIELDS):
+                raise ResultDrift(
+                    f"SoA engine drifted from the active-set engine "
+                    f"at {key}: {fields['active']} != {fields['soa']}")
+        pt = {
+            "key": key,
+            "scheme": scheme,
+            "scheme_kwargs": kwargs,
+            "pattern": pattern,
+            "rate": rate,
+            "rows": rows,
+            "cols": cols,
+            "cycles": cycles,
+            "active_wall_s": best["active"],
+            "soa_wall_s": best["soa"],
+            "active_cycles_per_sec": cycles / best["active"],
+            "soa_cycles_per_sec": cycles / best["soa"],
+            "speedup": best["active"] / best["soa"],
+            "identical": True,
+            "gated": _soa_gated(scheme, pattern),
+        }
+        mark = "  [gate]" if pt["gated"] else ""
+        print(f"  {key:46s} active {best['active'] * 1e3:8.1f} ms  "
+              f"soa {best['soa'] * 1e3:8.1f} ms  "
+              f"{pt['speedup']:5.2f}x{mark}")
+        points.append(pt)
+    gate_pts = [p for p in points if p["gated"]]
+    snap = {
+        "kind": "repro-soa-snapshot",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "seed": SNAPSHOT_SEED,
+        "repeat": repeat,
+        "points": points,
+        "gate_points": [p["key"] for p in gate_pts],
+        "gate_speedup": min(p["speedup"] for p in gate_pts),
+    }
+    print(f"  gate speedup (worst gated point): "
+          f"{snap['gate_speedup']:.2f}x")
+    return snap
+
+
 # -- snapshot files ------------------------------------------------------
 
 def perf_dir() -> Path:
@@ -277,6 +425,10 @@ def append_history(snap: dict, path: Path | str | None = None) -> Path:
     entry = {
         "created": snap.get("created", ""),
         "label": snap.get("label"),
+        # The engine id travels with every row: cycles/sec trajectories
+        # from different engines are different experiments, and the
+        # trend printer refuses to compare them silently.
+        "engine": snap.get("engine", "active"),
         "total_cycles_per_sec": snap.get("total_cycles_per_sec", 0.0),
         "points": {p["key"]: p["cycles_per_sec"] for p in snap["points"]},
     }
@@ -298,27 +450,43 @@ def load_history(path: Path | str | None = None) -> list[dict]:
 
 
 def print_trend(entries: list[dict], base: dict | None) -> None:
-    """The cycles/sec trajectory, normalised to the baseline snapshot."""
+    """The cycles/sec trajectory, normalised to the baseline snapshot.
+
+    Rows recorded under a different engine than the baseline print
+    their raw numbers but no ratios: a scalar-engine baseline says
+    nothing about an SoA-engine row's regression, so cross-engine
+    comparisons are refused rather than silently wrong (rows without an
+    engine id predate the field and were all scalar-engine runs).
+    """
     if not entries:
         print("  no snapshots recorded yet "
               f"(history: {history_path()})")
         return
+    base_engine = base.get("engine", "active") if base else None
     base_total = base["total_cycles_per_sec"] if base else None
     base_points = {p["key"]: p["cycles_per_sec"]
                    for p in base["points"]} if base else {}
-    print(f"  {'created':20s} {'label':16s} {'total cyc/s':>12s} "
-          f"{'vs base':>8s} {'worst point':>12s}")
+    print(f"  {'created':20s} {'label':16s} {'engine':8s} "
+          f"{'total cyc/s':>12s} {'vs base':>8s} {'worst point':>12s}")
+    skipped = 0
     for e in entries:
         total = e["total_cycles_per_sec"]
-        ratio = f"{total / base_total:6.2f}x" if base_total else "     -"
+        engine = e.get("engine", "active")
+        comparable = base_total and engine == base_engine
+        if base_total and not comparable:
+            skipped += 1
+        ratio = f"{total / base_total:6.2f}x" if comparable else "     -"
         worst = min((cps / base_points[k]
                      for k, cps in e["points"].items()
                      if k in base_points and base_points[k]),
-                    default=None)
+                    default=None) if comparable else None
         worst_s = f"{worst:10.2f}x" if worst is not None else "         -"
         label = (e.get("label") or "-")[:16]
-        print(f"  {e['created']:20s} {label:16s} {total:12.0f} "
-              f"{ratio:>8s} {worst_s:>12s}")
+        print(f"  {e['created']:20s} {label:16s} {engine:8s} "
+              f"{total:12.0f} {ratio:>8s} {worst_s:>12s}")
+    if skipped:
+        print(f"  ({skipped} row(s) ran a different engine than the "
+              f"{base_engine!r} baseline; ratios withheld)")
 
 
 # -- profiling -----------------------------------------------------------
@@ -370,6 +538,13 @@ def compare(new: dict, base: dict, fail_under: float,
     base_by_key = {p["key"]: p for p in base["points"]}
     worst = float("inf")
     drift = []
+    base_engine = base.get("engine", "active")
+    new_engine = new.get("engine", "active")
+    if base_engine != new_engine:
+        # Deliberate cross-engine comparisons (e.g. --engine soa vs the
+        # scalar baseline) are allowed, but never silent.
+        print(f"\n  NOTE: cross-engine comparison — baseline engine "
+              f"{base_engine!r}, new {new_engine!r}")
     print(f"\n  {'point':40s} {'base cyc/s':>12s} {'new cyc/s':>12s} "
           f"{'ratio':>7s}")
     for pt in new["points"]:
@@ -454,6 +629,23 @@ def main(argv: list[str]) -> int:
     p_snap.add_argument("--no-history", action="store_true",
                         help="do not append this snapshot to "
                              "results/perf/history.jsonl")
+    p_snap.add_argument("--engine", default="active",
+                        choices=("active", "naive", "soa"),
+                        help="cycle engine for the micro-sweep; the id "
+                             "is recorded in the snapshot and every "
+                             "history row (default: active)")
+    p_snap.add_argument("--soa", action="store_true",
+                        help="also run the SoA-kernel A/B (active-set "
+                             "vs soa engine on the saturated points) "
+                             "and write BENCH_soa.json")
+    p_snap.add_argument("--soa-out", default=None, metavar="PATH",
+                        help="SoA snapshot path (default: results/perf/"
+                             "BENCH_soa.json)")
+    p_snap.add_argument("--soa-fail-under", type=float,
+                        default=DEFAULT_SOA_FAIL_UNDER, metavar="R",
+                        help="minimum SoA speedup on the gated "
+                             "saturated points "
+                             f"(default: {DEFAULT_SOA_FAIL_UNDER})")
 
     p_trend = sub.add_parser("trend",
                              help="print the cycles/sec trajectory from "
@@ -512,8 +704,10 @@ def main(argv: list[str]) -> int:
         return 0
 
     print("perf snapshot: "
-          f"{len(SNAPSHOT_POINTS)} points, seed {SNAPSHOT_SEED}")
-    snap = run_snapshot(repeat=args.repeat, label=args.label)
+          f"{len(SNAPSHOT_POINTS)} points, seed {SNAPSHOT_SEED}, "
+          f"engine {args.engine}")
+    snap = run_snapshot(repeat=args.repeat, label=args.label,
+                        engine=args.engine)
     path = write_snapshot(snap, args.out)
     print(f"  snapshot written to {path}")
     if not args.no_history:
@@ -537,6 +731,25 @@ def main(argv: list[str]) -> int:
             print(f"\n  BATCH REGRESSION: low-load speedup "
                   f"{batch_snap['lowload_speedup']:.2f}x < "
                   f"{args.batch_fail_under:.2f}x")
+            rc = 1
+    if args.soa:
+        print(f"SoA A/B: {len(SOA_POINTS)} saturated points, "
+              f"best of {args.repeat + 2}")
+        try:
+            soa_snap = run_soa_snapshot(repeat=args.repeat + 2)
+        except ResultDrift as exc:
+            print(f"\n  SOA RESULT DRIFT: {exc}")
+            return 2
+        soa_path = Path(args.soa_out) if args.soa_out else \
+            perf_dir() / "BENCH_soa.json"
+        soa_path.parent.mkdir(parents=True, exist_ok=True)
+        soa_path.write_text(json.dumps(soa_snap, indent=2) + "\n")
+        print(f"  SoA snapshot written to {soa_path}")
+        if soa_snap["gate_speedup"] < args.soa_fail_under:
+            print(f"\n  SOA REGRESSION: gate speedup "
+                  f"{soa_snap['gate_speedup']:.2f}x < "
+                  f"{args.soa_fail_under:.2f}x on "
+                  f"{', '.join(soa_snap['gate_points'])}")
             rc = 1
     if not args.compare:
         return rc

@@ -23,7 +23,7 @@ class Link:
     __slots__ = (
         "src", "src_port", "dst", "dst_port",
         "busy_until", "fp_windows", "inflight",
-        "util_flits", "fp_flits",
+        "util_flits", "fp_flits", "dirty_sink",
     )
 
     def __init__(self, src: int, src_port: int, dst: int, dst_port: int):
@@ -39,6 +39,11 @@ class Link:
         #: cumulative flit-cycles carried: regular traffic / FastFlow lanes
         self.util_flits = 0
         self.fp_flits = 0
+        #: SoA-kernel hook: a shared list this link appends itself to when
+        #: a reservation mutates timers behind the kernel's arrays (FastFlow
+        #: pre-emption below).  ``None`` — and therefore free — on the
+        #: scalar engines.
+        self.dirty_sink = None
 
     # ------------------------------------------------------------------
     def prune(self, now: int) -> None:
@@ -69,6 +74,10 @@ class Link:
                     f"[{ws},{we})")
         self.fp_windows.append((start, end))
         self.fp_flits += end - start
+        if self.dirty_sink is not None:
+            # The window (and any pre-emption below) changes state the SoA
+            # kernel mirrors in arrays; queue this link for a resync.
+            self.dirty_sink.append(self)
         if self.inflight is not None:
             dst_slot, src_slot, t_end = self.inflight
             if t_end > start:
@@ -101,7 +110,7 @@ class VCSlot:
     """
 
     __slots__ = ("pkt", "ready_at", "free_at", "retry_at", "retry_pid",
-                 "port", "vc")
+                 "port", "vc", "gidx")
 
     def __init__(self, port: int, vc: int):
         self.pkt = None
@@ -111,6 +120,9 @@ class VCSlot:
         self.retry_pid = -1
         self.port = port
         self.vc = vc
+        #: flat (router, port, vc) index into the SoA kernel's arrays,
+        #: assigned at kernel attach; unused by the scalar engines
+        self.gidx = -1
 
     def is_free(self, now: int) -> bool:
         return self.pkt is None and self.free_at <= now

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from bisect import insort
 
+from repro.network.arbiter import granted_order, skipped_rotation
 from repro.network.link import VCSlot
 from repro.network.topology import PORT_LOCAL
 
@@ -192,17 +193,15 @@ class Router:
         self._unpark(k)
 
     def _unpark(self, skipped: int) -> None:
-        """Apply the net effect of ``skipped`` guarded steps: each one
-        advanced ``rr`` by one and left-rotated the occupied list by its
-        pre-increment ``rr % n``."""
+        """Apply the net effect of ``skipped`` guarded steps (the shared
+        arbitration spec's closed-form replay — see
+        :mod:`repro.network.arbiter`)."""
         self._wake_at = 0
         self._parked_sw = -1
         if skipped <= 0:
             return
         occ = self.occupied
-        n = len(occ)
-        rot = (skipped * self.rr + skipped * (skipped - 1) // 2) % n
-        self.rr += skipped
+        rot, self.rr = skipped_rotation(self.rr, len(occ), skipped)
         if rot:
             self.occupied = occ[rot:] + occ[:rot]
 
@@ -214,14 +213,12 @@ class Router:
         if self._parked_sw >= 0:
             self._unpark(net.switch_cycles - self._parked_sw - 1)
         occ = self.occupied
-        n = len(occ)
-        if n == 0:
+        if not occ:
             net.sleep_router(self.id)
             return
-        start = self.rr % n
-        self.rr += 1
-        if start:
-            occ = occ[start:] + occ[:start]
+        # Visit order per the shared arbitration spec (repro.network
+        # .arbiter); the SoA kernel calls the same function.
+        occ, self.rr = granted_order(occ, self.rr)
         taken = 0  # bitmask of output ports granted this cycle
         survivors = []
         survive = survivors.append

@@ -92,6 +92,15 @@ class ReplicaBatch:
                  rate: float, seeds, scheme_kwargs: dict | None = None,
                  traffic_stop: int | None = None, naive: bool = False):
         kwargs = dict(scheme_kwargs or {})
+        if cfg.engine == "soa":
+            # The batch replays Simulation.run's control flow over the
+            # scalar Network.step datapath; a per-replica SoA kernel
+            # would fight the whole-replica fast-forward's closed-form
+            # bookkeeping.  Engines are bit-identical by contract, so
+            # running the replicas scalar changes nothing but speed —
+            # the campaign executors skip folding for engine="soa"
+            # anyway, this normalisation covers direct construction.
+            cfg = cfg.with_(engine="active")
         self.shared = SharedStructures()
         self.sims: list[Simulation] = []
         for seed in seeds:

@@ -29,6 +29,16 @@ def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
     cache is empty, builds exactly as before).
     """
     cfg = scheme.configure(cfg)
+    router_cls = scheme.router_cls
+    soa_fallback = None
+    use_soa = False
+    if cfg.engine == "soa":
+        from repro.sim import soa
+        soa.require_numpy()
+        soa_fallback = soa.fallback_reason(cfg, scheme)
+        if soa_fallback is None:
+            use_soa = True
+            router_cls = soa.hooked_router_cls(router_cls)
     if shared is None:
         from repro.sim.batch.shared import process_shared
         shared = process_shared(cfg, scheme)
@@ -40,9 +50,14 @@ def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
     else:
         mesh = Mesh(cfg.rows, cfg.cols)
     net = Network(cfg, mesh, ROUTERS[scheme.routing],
-                  router_cls=scheme.router_cls, scheme=scheme,
+                  router_cls=router_cls, scheme=scheme,
                   shared=shared)
+    #: why an engine="soa" request fell back to scalar (None otherwise)
+    net.soa_fallback = soa_fallback
     scheme.build(net)
+    if use_soa:
+        from repro.sim.soa import attach
+        attach(net)
     return net
 
 
@@ -53,6 +68,20 @@ class Simulation:
         self.scheme = scheme
         self.net = build_network(cfg, scheme, shared=shared)
         self.cfg = self.net.cfg
+        net = self.net
+        if self.cfg.engine == "naive":
+            net.force_naive_step = True
+        #: which cycle engine actually drives this run.  Deliberately an
+        #: attribute, not a RunResult field: every engine is bit-identical,
+        #: so results (and the campaign cache) must not carry engine ids.
+        if net.soa is not None:
+            self.engine_used = "soa"
+        elif self.cfg.engine == "soa":
+            self.engine_used = f"active (soa fallback: {net.soa_fallback})"
+        elif self.cfg.engine == "naive":
+            self.engine_used = "naive"
+        else:
+            self.engine_used = "active"
         self.traffic = traffic
         traffic.bind(self.net)
         self.net.traffic = traffic

@@ -75,3 +75,102 @@ def test_naive_flag_actually_switches_paths(monkeypatch):
     monkeypatch.setattr(Network, "_step_naive", spy)
     _run("baseline", "uniform", 0.05, 3, naive=True)
     assert calls
+
+
+# -- SoA kernel differentials --------------------------------------------
+#
+# The SoA engine is a write-through overlay over the scalar object graph,
+# so its results must match both scalar engines bit-for-bit wherever it
+# engages — and where it cannot engage (unsupported scheme, fault plan)
+# the silent fallback must land on the active-set path with, again,
+# identical results.
+
+def _run_engine(name, pattern, rate, seed, engine, cfg=None, **kwargs):
+    cfg = (cfg or _cfg()).with_(engine=engine)
+    sim = Simulation(cfg, get_scheme(name, **kwargs),
+                     SyntheticTraffic(pattern, rate, seed=seed))
+    return sim.run(), sim
+
+
+@pytest.mark.parametrize("name", ["fastpass", "escapevc", "spin"])
+@pytest.mark.parametrize("rate", [0.02, 0.1, 0.3])
+def test_soa_matches_naive_and_active(name, rate):
+    """SoA vs active-set vs naive on the supported schemes, low load
+    through saturation — plus ``spin``, whose out-of-band probe state
+    the kernel refuses: it must fall back and still match."""
+    seed = 5
+    soa_res, soa_sim = _run_engine(name, "uniform", rate, seed, "soa")
+    act_res, _ = _run_engine(name, "uniform", rate, seed, "active")
+    naive_res = _run(name, "uniform", rate, seed, naive=True)
+    label = f"{name}/uniform@{rate}"
+    assert_results_equal(soa_res, act_res, f"{label} soa vs active")
+    assert_results_equal(soa_res, naive_res, f"{label} soa vs naive")
+    if name == "spin":
+        assert soa_sim.net.soa is None
+        assert "fallback" in soa_sim.engine_used
+    else:
+        assert soa_sim.engine_used == "soa"
+        assert soa_sim.net.soa is not None
+        assert soa_sim.net.soa.cycles > 0, "kernel never stepped"
+
+
+def test_soa_matches_scalar_with_bounces(monkeypatch):
+    """A FastPass run in which the bounce protocol demonstrably fires
+    (zero consume bandwidth + single-entry ejection queues), forcing the
+    kernel through its manager-absorb and scalar-fallback corners."""
+    from repro.network.ni import NetworkInterface
+    monkeypatch.setattr(NetworkInterface, "CONSUME_RATE", 0)
+    cfg = _cfg().with_(ej_queue_pkts=1)
+    soa_res, soa_sim = _run_engine("fastpass", "uniform", 0.3, 5, "soa",
+                                   cfg=cfg, n_vcs=2)
+    act_res, _ = _run_engine("fastpass", "uniform", 0.3, 5, "active",
+                             cfg=cfg, n_vcs=2)
+    assert soa_sim.engine_used == "soa"
+    assert soa_sim.net.fastpass.engine.bounced > 0, "no bounces provoked"
+    assert_results_equal(soa_res, act_res, "soa bounces")
+
+
+def test_soa_falls_back_under_transient_faults():
+    """A fault plan mutates link timers and routes out of band, so
+    ``engine="soa"`` must silently run the scalar path — reported via
+    ``engine_used`` — with bit-identical results."""
+    from repro.fault.plan import LINK_FLAP, FaultEvent, FaultPlan
+    plan = FaultPlan(
+        events=(FaultEvent(LINK_FLAP, at=150, router=5, port=2,
+                           duration=120),),
+        rate=0.002, start=100, stop=400, seed=3)
+    cfg = _cfg().with_(fault_plan=plan, paranoia=0)
+    soa_res, soa_sim = _run_engine("fastpass", "uniform", 0.08, 5,
+                                   "soa", cfg=cfg)
+    act_res, _ = _run_engine("fastpass", "uniform", 0.08, 5,
+                             "active", cfg=cfg)
+    assert soa_sim.net.soa is None
+    assert "fallback" in soa_sim.engine_used
+    assert_results_equal(soa_res, act_res, "soa fault fallback")
+
+
+def test_soa_transpose_and_seeds():
+    """Pattern and seed sweep on the supported schemes at a blocked
+    rate — the regime the kernel's screen actually exercises."""
+    for name in ("baseline", "fastpass", "escapevc"):
+        for seed in (3, 11):
+            soa_res, soa_sim = _run_engine(name, "transpose", 0.3,
+                                           seed, "soa")
+            act_res, _ = _run_engine(name, "transpose", 0.3,
+                                     seed, "active")
+            assert soa_sim.engine_used == "soa"
+            assert_results_equal(soa_res, act_res,
+                                 f"{name}/transpose seed={seed}")
+
+
+def test_soa_kernel_fast_paths_engage():
+    """The perf-bearing fast paths must demonstrably fire: cycles where
+    the whole router phase is screened out, injection-step skips, and
+    scalar materialisation staying the exception, not the rule."""
+    _, sim = _run_engine("fastpass", "uniform", 0.1, 5, "soa")
+    k = sim.net.soa
+    assert k.cycles > 0
+    assert k.skipped > 0, "screen never skipped a router phase"
+    assert k.inject_skips > 0, "injection screen never engaged"
+    assert k.materialized < k.cycles * sim.net.mesh.n_routers, \
+        "every router materialised every cycle — the screen is dead"

@@ -105,8 +105,9 @@ class TestProfile:
                             [("escapevc", {}, "uniform", 0.05)])
         monkeypatch.setattr(
             perf, "snapshot_config",
-            lambda: SimConfig(rows=4, cols=4, warmup_cycles=50,
-                              measure_cycles=150, drain_cycles=300))
+            lambda engine="active": SimConfig(
+                rows=4, cols=4, warmup_cycles=50, measure_cycles=150,
+                drain_cycles=300, engine=engine))
 
     def test_run_profile_writes_prof_and_report(self, tmp_path,
                                                 monkeypatch):
@@ -128,8 +129,9 @@ class TestProfile:
         self._shrink(monkeypatch, tmp_path)
         fake = _snap([_point("p", 1000.0)])
         fake.update(label=None, total_wall_s=0.1)
-        monkeypatch.setattr(perf, "run_snapshot",
-                            lambda repeat=1, label=None: fake)
+        monkeypatch.setattr(
+            perf, "run_snapshot",
+            lambda repeat=1, label=None, engine="active": fake)
         calls = []
         real = perf.run_profile
         monkeypatch.setattr(perf, "run_profile",
@@ -147,8 +149,9 @@ class TestProfile:
         self._shrink(monkeypatch, tmp_path)
         fake = _snap([_point("p", 1000.0)])
         fake.update(label=None, total_wall_s=0.1)
-        monkeypatch.setattr(perf, "run_snapshot",
-                            lambda repeat=1, label=None: fake)
+        monkeypatch.setattr(
+            perf, "run_snapshot",
+            lambda repeat=1, label=None, engine="active": fake)
         monkeypatch.setattr(perf, "run_profile", lambda top=30: (
             (_ for _ in ()).throw(AssertionError("profiled without flag"))))
         rc = cli.main(["perf", "snapshot",
@@ -163,8 +166,9 @@ class TestCLI:
 
         fake = _snap([_point("p", 1000.0)])
         fake.update(label=None, total_wall_s=0.1)
-        monkeypatch.setattr(perf, "run_snapshot",
-                            lambda repeat=1, label=None: fake)
+        monkeypatch.setattr(
+            perf, "run_snapshot",
+            lambda repeat=1, label=None, engine="active": fake)
         base = tmp_path / "base.json"
         base.write_text(json.dumps(_snap([_point("p", 1000.0)])))
         out = tmp_path / "new.json"
@@ -238,8 +242,9 @@ class TestHistory:
         fake = _snap([_point("p", 1000.0)])
         fake.update(label=None, total_wall_s=0.1,
                     total_cycles_per_sec=1000.0, created="t0")
-        monkeypatch.setattr(perf, "run_snapshot",
-                            lambda repeat=1, label=None: fake)
+        monkeypatch.setattr(
+            perf, "run_snapshot",
+            lambda repeat=1, label=None, engine="active": fake)
         rc = cli.main(["perf", "snapshot",
                        "--out", str(tmp_path / "n.json")])
         assert rc == 0
@@ -259,8 +264,9 @@ class TestBatchSnapshot:
                              ("escapevc", {}, "uniform", 0.05)])
         monkeypatch.setattr(
             perf, "snapshot_config",
-            lambda: SimConfig(rows=4, cols=4, warmup_cycles=50,
-                              measure_cycles=150, drain_cycles=300))
+            lambda engine="active": SimConfig(
+                rows=4, cols=4, warmup_cycles=50, measure_cycles=150,
+                drain_cycles=300, engine=engine))
 
     def test_batch_ab_is_bit_identical_and_aggregates(self, tmp_path,
                                                       monkeypatch):
@@ -280,8 +286,9 @@ class TestBatchSnapshot:
         fake_main = _snap([_point("p", 1000.0)])
         fake_main.update(label=None, total_wall_s=0.1,
                          total_cycles_per_sec=1000.0, created="t0")
-        monkeypatch.setattr(perf, "run_snapshot",
-                            lambda repeat=1, label=None: fake_main)
+        monkeypatch.setattr(
+            perf, "run_snapshot",
+            lambda repeat=1, label=None, engine="active": fake_main)
         fake_batch = {"kind": "repro-batch-snapshot", "points": [],
                       "lowload_speedup": 1.6, "overall_speedup": 1.4}
         monkeypatch.setattr(perf, "run_batch_snapshot",
@@ -315,3 +322,101 @@ class TestBatchSnapshot:
         monkeypatch.setattr(ReplicaBatch, "run", corrupt)
         with pytest.raises(RuntimeError, match="drifted"):
             perf.run_batch_snapshot(replicas=2, repeat=1)
+
+
+def _soa_snap(gate_speedup, points=()):
+    return {"kind": "repro-soa-snapshot", "points": list(points),
+            "gate_points": ["fastpass()/uniform@0.2/8x8"],
+            "gate_speedup": gate_speedup}
+
+
+class TestSoaSnapshot:
+    def _stub(self, monkeypatch, tmp_path, soa_snap):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        fake_main = _snap([_point("p", 1000.0)])
+        fake_main.update(label=None, total_wall_s=0.1,
+                         total_cycles_per_sec=1000.0, created="t0")
+        monkeypatch.setattr(
+            perf, "run_snapshot",
+            lambda repeat=1, label=None, engine="active": fake_main)
+        if isinstance(soa_snap, BaseException):
+            def boom(repeat=3):
+                raise soa_snap
+            monkeypatch.setattr(perf, "run_soa_snapshot", boom)
+        else:
+            monkeypatch.setattr(perf, "run_soa_snapshot",
+                                lambda repeat=3: soa_snap)
+
+    def test_gate_passes_at_floor(self, tmp_path, monkeypatch):
+        from repro.experiments import cli
+        self._stub(monkeypatch, tmp_path, _soa_snap(2.4))
+        out = tmp_path / "soa.json"
+        rc = cli.main(["perf", "snapshot", "--soa",
+                       "--out", str(tmp_path / "n.json"),
+                       "--soa-out", str(out)])
+        assert rc == 0
+        assert json.loads(out.read_text())["gate_speedup"] == 2.4
+
+    def test_gate_fails_below_floor(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import cli
+        self._stub(monkeypatch, tmp_path, _soa_snap(1.7))
+        rc = cli.main(["perf", "snapshot", "--soa",
+                       "--out", str(tmp_path / "n.json"),
+                       "--soa-out", str(tmp_path / "soa.json")])
+        assert rc == 1
+        assert "SOA REGRESSION" in capsys.readouterr().out
+
+    def test_drift_exits_two(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import cli
+        self._stub(monkeypatch, tmp_path,
+                   perf.ResultDrift("soa drifted at p"))
+        rc = cli.main(["perf", "snapshot", "--soa",
+                       "--out", str(tmp_path / "n.json"),
+                       "--soa-out", str(tmp_path / "soa.json")])
+        assert rc == 2
+        assert "SOA RESULT DRIFT" in capsys.readouterr().out
+
+    def test_gated_points_are_the_blocked_regime(self):
+        assert perf._soa_gated("fastpass", "uniform")
+        assert not perf._soa_gated("fastpass", "transpose")
+        assert not perf._soa_gated("escapevc", "uniform")
+        gated = [p for p in perf.SOA_POINTS
+                 if perf._soa_gated(p[0], p[2])]
+        assert gated, "the 2x gate must watch at least one point"
+        assert all(r >= 0.2 for (_, _, _, r, _, _) in gated)
+        assert any(rows == 8 for (_, _, _, _, rows, _) in gated)
+
+
+class TestEngineInHistory:
+    def test_engine_recorded_per_row(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        snap = _hist_snap("t0", 1000.0, [_point("p", 1000.0)])
+        snap["engine"] = "soa"
+        perf.append_history(snap)
+        perf.append_history(_hist_snap("t1", 900.0,
+                                       [_point("p", 900.0)]))
+        entries = perf.load_history()
+        assert entries[0]["engine"] == "soa"
+        assert entries[1]["engine"] == "active"   # default when absent
+
+    def test_trend_refuses_cross_engine_ratios(self, capsys):
+        base = _snap([_point("p", 1000.0)])
+        base["total_cycles_per_sec"] = 1000.0      # engine: active
+        entries = [
+            {"created": "t1", "label": None, "engine": "soa",
+             "total_cycles_per_sec": 3000.0, "points": {"p": 3000.0}},
+            {"created": "t2", "label": None, "engine": "active",
+             "total_cycles_per_sec": 1500.0, "points": {"p": 1500.0}},
+        ]
+        perf.print_trend(entries, base)
+        out = capsys.readouterr().out
+        assert "1.50x" in out                      # same-engine ratio
+        assert "3.00x" not in out                  # cross-engine withheld
+        assert "different engine" in out
+
+    def test_compare_flags_cross_engine(self, capsys):
+        new = _snap([_point("p", 2000.0)])
+        new["engine"] = "soa"
+        base = _snap([_point("p", 1000.0)])
+        assert perf.compare(new, base, fail_under=0.75) == 0
+        assert "cross-engine" in capsys.readouterr().out

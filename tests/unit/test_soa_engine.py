@@ -1,0 +1,177 @@
+"""Unit tests for the SoA engine's gating, tables, and harness hooks.
+
+The bit-identity differentials live in
+``tests/integration/test_engine_equivalence.py``; this file covers the
+pieces around the kernel: availability gating (``EngineUnavailable``
+with the ``[soa]`` install hint), config validation, the dense route
+tables' full ``(dst, vn, esc)`` cross-check, the campaign executor's
+refusal to fold SoA-engined points into scalar-datapath batches, and
+the ``run_soa_snapshot`` A/B harness including its drift hard-error.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.schemes import get_scheme
+from repro.sim import soa
+from repro.sim.engine import Simulation
+from repro.traffic.synthetic import SyntheticTraffic
+
+
+def _cfg(**over):
+    base = dict(rows=4, cols=4, warmup_cycles=50, measure_cycles=150,
+                drain_cycles=600, fastpass_slot_cycles=64)
+    base.update(over)
+    return SimConfig(**base)
+
+
+def _sim(scheme="fastpass", pattern="uniform", rate=0.1, seed=7,
+         cfg=None, **kwargs):
+    return Simulation(cfg or _cfg(engine="soa"),
+                      get_scheme(scheme, **kwargs),
+                      SyntheticTraffic(pattern, rate, seed=seed))
+
+
+class TestAvailability:
+    def test_available_with_numpy(self):
+        assert soa.soa_available()
+        assert soa.best_engine() == "soa"
+        soa.require_numpy()   # does not raise
+
+    def test_unavailable_raises_with_install_hint(self, monkeypatch):
+        monkeypatch.setattr(soa, "_FORCE_UNAVAILABLE", True)
+        assert not soa.soa_available()
+        assert soa.best_engine() == "active"
+        with pytest.raises(soa.EngineUnavailable, match=r"\[soa\]"):
+            soa.require_numpy()
+
+    def test_simulation_build_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(soa, "_FORCE_UNAVAILABLE", True)
+        with pytest.raises(soa.EngineUnavailable):
+            _sim()
+
+    def test_scalar_engines_unaffected(self, monkeypatch):
+        monkeypatch.setattr(soa, "_FORCE_UNAVAILABLE", True)
+        sim = _sim(cfg=_cfg(engine="active"))
+        assert sim.engine_used == "active"
+        assert sim.run().ejected > 0
+
+
+class TestConfigValidation:
+    def test_engine_names_validated(self):
+        for name in ("active", "naive", "soa"):
+            assert SimConfig(engine=name).engine == name
+        with pytest.raises(ValueError, match="engine"):
+            SimConfig(engine="vector")
+
+
+class TestFallbackReason:
+    def test_supported_schemes_have_no_reason(self):
+        for name in sorted(soa.SUPPORTED_SCHEMES):
+            assert soa.fallback_reason(_cfg(), get_scheme(name)) is None
+
+    def test_unsupported_scheme_reported(self):
+        reason = soa.fallback_reason(_cfg(), get_scheme("spin"))
+        assert reason is not None and "spin" in reason
+
+    def test_fault_plan_reported(self):
+        from repro.fault.plan import LINK_FLAP, FaultEvent, FaultPlan
+        plan = FaultPlan(events=(FaultEvent(LINK_FLAP, at=10, router=1,
+                                            port=2, duration=5),),
+                         seed=1)
+        cfg = _cfg().with_(fault_plan=plan)
+        reason = soa.fallback_reason(cfg, get_scheme("fastpass"))
+        assert reason is not None and "fault" in reason
+
+
+class TestDenseTables:
+    @pytest.mark.parametrize("scheme,kwargs",
+                             [("baseline", {}), ("fastpass", {}),
+                              ("fastpass", {"n_vcs": 2}),
+                              ("escapevc", {})])
+    def test_full_product_matches_memos(self, scheme, kwargs):
+        from repro.sim.soa.tables import verify_tables
+        sim = _sim(scheme, **kwargs)
+        kernel = sim.net.soa
+        checked = verify_tables(sim.net, kernel.tables)
+        t = kernel.tables
+        assert checked == t.R * t.R * sim.net.cfg.n_vns * t.E
+
+    def test_rectangular_mesh(self):
+        from repro.sim.soa.tables import verify_tables
+        sim = _sim("escapevc", cfg=_cfg(rows=3, cols=5, engine="soa"))
+        assert verify_tables(sim.net, sim.net.soa.tables) > 0
+
+
+class TestCampaignIntegration:
+    def test_executor_skips_folding_for_soa(self, tmp_path):
+        from repro.campaign.executor import CampaignExecutor
+        active = CampaignExecutor(_cfg(engine="active"))
+        soa_ex = CampaignExecutor(_cfg(engine="soa"))
+        assert active.auto_batch
+        assert not soa_ex.auto_batch
+
+    def test_fabric_executor_skips_folding_for_soa(self):
+        from repro.fabric.executor import FabricExecutor
+        assert not FabricExecutor(_cfg(engine="soa")).auto_batch
+        assert FabricExecutor(_cfg(engine="active")).auto_batch
+
+    def test_replica_batch_normalises_engine(self):
+        """Direct construction with engine="soa" runs the replicas on
+        the scalar datapath (results are engine-invariant) instead of
+        attaching per-replica kernels under the batch scheduler."""
+        from repro.sim.batch.engine import ReplicaBatch
+        batch = ReplicaBatch(_cfg(engine="soa"), "fastpass", "uniform",
+                             0.05, [3, 5], scheme_kwargs={"n_vcs": 2})
+        assert all(s.net.soa is None for s in batch.sims)
+        assert all(s.cfg.engine == "active" for s in batch.sims)
+        assert all(r.ejected > 0 for r in batch.run())
+
+
+class TestSoaSnapshotHarness:
+    def _shrink(self, monkeypatch, tmp_path):
+        from repro.experiments import perf
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.setattr(perf, "SOA_POINTS",
+                            [("fastpass", {}, "uniform", 0.2, 4, 4),
+                             ("escapevc", {}, "uniform", 0.2, 4, 4)])
+        monkeypatch.setattr(
+            perf, "soa_config",
+            lambda rows, cols, engine: SimConfig(
+                rows=rows, cols=cols, warmup_cycles=50,
+                measure_cycles=150, drain_cycles=600, engine=engine))
+        return perf
+
+    def test_ab_runs_and_gates_structure(self, tmp_path, monkeypatch):
+        perf = self._shrink(monkeypatch, tmp_path)
+        snap = perf.run_soa_snapshot(repeat=1)
+        assert snap["kind"] == "repro-soa-snapshot"
+        assert len(snap["points"]) == 2
+        assert all(p["identical"] for p in snap["points"])
+        gated = [p for p in snap["points"] if p["gated"]]
+        assert [p["key"] for p in gated] == snap["gate_points"]
+        assert snap["gate_speedup"] == min(p["speedup"] for p in gated)
+
+    def test_drift_is_a_hard_error(self, tmp_path, monkeypatch):
+        perf = self._shrink(monkeypatch, tmp_path)
+        from repro.sim.engine import Simulation as Sim
+        orig = Sim.run
+
+        def corrupt(self):
+            res = orig(self)
+            if self.engine_used == "soa":
+                res.ejected += 1
+            return res
+
+        monkeypatch.setattr(Sim, "run", corrupt)
+        with pytest.raises(perf.ResultDrift, match="drifted"):
+            perf.run_soa_snapshot(repeat=1)
+
+    def test_fallback_poisons_the_ab(self, tmp_path, monkeypatch):
+        """If the SoA side silently lands on the scalar engine the A/B
+        would compare the scalar loop against itself — hard error."""
+        perf = self._shrink(monkeypatch, tmp_path)
+        monkeypatch.setattr(perf, "SOA_POINTS",
+                            [("spin", {}, "uniform", 0.1, 4, 4)])
+        with pytest.raises(RuntimeError, match="ran as"):
+            perf.run_soa_snapshot(repeat=1)
