@@ -57,6 +57,26 @@ def execute_point(point: Point, cfg: SimConfig) -> RunResult:
         res.extra["traffic_done"] = sim.traffic.done()
         res.extra["completed"] = sim.traffic.completed
         return res
+    if pattern.startswith("scenario:"):
+        from repro.scenario.runner import run_scenario
+        from repro.scenario.spec import ScenarioSpec
+        spec = ScenarioSpec.from_token(meta["scenario"])
+        token = meta.get("faults")
+        if token:
+            from repro.fault.plan import FaultPlan
+            cfg = cfg.with_(fault_plan=FaultPlan.from_token(token))
+        metrics = meta.get("metrics")
+        if metrics is None:
+            metrics = int(os.environ.get("REPRO_METRICS", "0") or 0)
+        return run_scenario(scheme, spec, cfg, seed=meta.get("seed"),
+                            traffic_stop=meta.get("traffic_stop"),
+                            metrics=metrics)
+    if pattern.startswith("trace:"):
+        from repro.scenario.runner import replay_trace
+        return replay_trace(scheme, pattern[len("trace:"):], cfg)
+    if pattern.startswith("irregular:"):
+        from repro.scenario.irregular import run_irregular_point
+        return run_irregular_point(point, cfg)
     from repro.sim.runner import run_point
     token = meta.get("faults")
     if token:
@@ -79,16 +99,27 @@ def replica_signature(point: Point):
     must run scalar.
 
     Points that agree on everything except their ``meta`` seed are
-    replicas of one simulation and can share a lock-step batch.  Only
-    plain synthetic patterns qualify: closed-loop (``app:``/``stress:``)
-    and selftest points have bespoke execution, and per-point metrics
-    (or a fleet-wide ``REPRO_METRICS``) attach observability, which the
-    batch engine deliberately refuses to fast-forward around — scalar
-    execution keeps those runs on the exact audited path.
+    replicas of one simulation and can share a lock-step batch.  Plain
+    synthetic patterns qualify, as do ``scenario:`` points whose spec is
+    chunk-aligned (every phase boundary on a multiple of the traffic
+    refill quantum — otherwise the phase-clamped fills desynchronise the
+    batch's ``(R, CHUNK)`` traffic matrix and those points must run
+    scalar).  Closed-loop (``app:``/``stress:``), ``trace:``/
+    ``irregular:`` and selftest points have bespoke execution, and
+    per-point metrics (or a fleet-wide ``REPRO_METRICS``) attach
+    observability, which the batch engine deliberately refuses to
+    fast-forward around — scalar execution keeps those runs on the exact
+    audited path.
     """
-    if ":" in point.pattern:
-        return None
     meta = dict(point.meta)
+    if point.pattern.startswith("scenario:"):
+        from repro.scenario.spec import ScenarioSpec
+        from repro.traffic.synthetic import SyntheticTraffic
+        spec = ScenarioSpec.from_token(meta["scenario"])
+        if not spec.chunk_aligned(SyntheticTraffic.CHUNK):
+            return None
+    elif ":" in point.pattern:
+        return None
     if meta.get("metrics") or int(os.environ.get("REPRO_METRICS", "0")
                                   or 0):
         return None
@@ -110,11 +141,15 @@ def execute_group(points: list[Point], cfg: SimConfig) -> list[RunResult]:
     if token:
         from repro.fault.plan import FaultPlan
         cfg = cfg.with_(fault_plan=FaultPlan.from_token(token))
+    spec = None
+    if first.pattern.startswith("scenario:"):
+        from repro.scenario.spec import ScenarioSpec
+        spec = ScenarioSpec.from_token(meta["scenario"])
     seeds = [dict(p.meta).get("seed") for p in points]
     from repro.sim.runner import run_replicas
     return run_replicas(first.scheme, first.pattern, first.rate, cfg,
                         seeds, scheme_kwargs=dict(first.scheme_kwargs),
-                        traffic_stop=meta.get("traffic_stop"))
+                        traffic_stop=meta.get("traffic_stop"), spec=spec)
 
 
 def failed_result(point: Point, error: str) -> RunResult:

@@ -30,6 +30,11 @@ def holistic_path(graph: "nx.Graph") -> list[tuple[int, int]]:
         return []
     if not nx.is_connected(graph):
         raise ValueError("topology must be connected")
+    if graph.number_of_edges() == 0:
+        # A single isolated router is connected but has no channels to
+        # traverse; the holistic path is empty rather than an Eulerian
+        # failure inside networkx.
+        return []
     digraph = graph.to_directed()   # both directions of every channel
     start = min(graph.nodes)
     return [(u, v) for u, v in nx.eulerian_circuit(digraph, source=start)]

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig11,
     fig12,
     fig13,
+    scenarios,
 )
 
 ALL = {
@@ -28,6 +29,7 @@ ALL = {
     "fig11": fig11,
     "fig12": fig12,
     "fig13": fig13,
+    "scenarios": scenarios,
 }
 
 __all__ = ["ALL"] + list(ALL)

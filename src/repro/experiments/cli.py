@@ -12,6 +12,10 @@ Usage::
     repro-experiments fabric work http://coordinator:8750
     repro-experiments fabric status http://coordinator:8750
     repro-experiments faults sweep --modes cut --rates 0.05
+    repro-experiments scenarios run bursty --topologies ring:8,mesh:16x16
+    repro-experiments scenarios sweep bursty --scales 0.5,1,2
+    repro-experiments scenarios record bursty --out trace.jsonl
+    repro-experiments scenarios replay trace.jsonl --scheme escapevc
     repro-experiments obs report --scheme fastpass --rate 0.1
     repro-experiments obs export --format prometheus --out metrics.prom
     repro-experiments perf snapshot --replicas 8
@@ -459,6 +463,175 @@ def _chaos_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+# -- scenario subcommands -----------------------------------------------
+
+def _cache_summary(ctx) -> str:
+    cache = ctx.cache()
+    if cache is None:
+        return "run cache disabled"
+    return (f"run cache: {cache.hits} hits, {cache.misses} misses "
+            f"({len(cache)} entries at {cache.root})")
+
+
+def _scenarios_run(parser, args) -> int:
+    from repro.experiments import scenarios
+    from repro.scenario.spec import SCENARIOS
+
+    names = args.scenarios or None
+    if names and any(n not in SCENARIOS and not n.endswith(".json")
+                     for n in names):
+        known = sorted(SCENARIOS)
+        bad = [n for n in names
+               if n not in SCENARIOS and not n.endswith(".json")]
+        parser.error(f"unknown scenarios: {bad} (library: {known}, "
+                     "or pass a spec .json path)")
+    topologies = _csv(args.topologies) if args.topologies else None
+    seeds = [int(s) for s in _csv(args.seeds)] if args.seeds else None
+
+    ctx = campaign_context.get_context()
+    if args.jobs is not None:
+        ctx.jobs = args.jobs
+    if args.no_cache:
+        ctx.enabled = False
+    ctx.campaign = "scenarios"
+    t0 = time.time()
+    try:
+        result = scenarios.run(quick=not args.full, scenarios=names,
+                               topologies=topologies, seeds=seeds)
+    finally:
+        ctx.campaign = None
+    print(scenarios.format_result(result))
+    print(f"--- scenarios done in {time.time() - t0:.1f}s")
+    print(_cache_summary(ctx))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, default=_jsonable)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+def _scenarios_sweep(args) -> int:
+    from repro.experiments import scenarios
+    scales = [float(x) for x in _csv(args.scales)] if args.scales else None
+    seeds = [int(s) for s in _csv(args.seeds)] if args.seeds else None
+    ctx = campaign_context.get_context()
+    if args.jobs is not None:
+        ctx.jobs = args.jobs
+    if args.no_cache:
+        ctx.enabled = False
+    ctx.campaign = "scenarios"
+    t0 = time.time()
+    try:
+        result = scenarios.sweep(quick=not args.full,
+                                 scenario=args.scenario, scales=scales,
+                                 seeds=seeds)
+    finally:
+        ctx.campaign = None
+    print(scenarios.format_sweep(result))
+    print(f"--- scenario sweep done in {time.time() - t0:.1f}s")
+    print(_cache_summary(ctx))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, default=_jsonable)
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+def _scenarios_record(args) -> int:
+    from repro.experiments.common import synthetic_config
+    from repro.scenario import get_scenario, record_scenario
+    spec = get_scenario(args.scenario)
+    cfg = synthetic_config(quick=not args.full)
+    out = args.out or f"trace_{spec.name}_{spec.sha()}.jsonl"
+    res, path = record_scenario(args.scheme, spec, cfg, out,
+                                seed=args.seed)
+    print(f"recorded {spec.name} ({args.scheme}, seed {args.seed}) "
+          f"to {path}")
+    print(f"  events={len(open(path).readlines()) - 1} "
+          f"delivered={res.ejected} avg_latency={res.avg_latency:.2f}")
+    print(f"  replay with: repro-experiments scenarios replay {path}")
+    return 0
+
+
+def _scenarios_replay(args) -> int:
+    from repro.experiments.common import synthetic_config
+    from repro.scenario import replay_trace
+    from repro.scenario.trace import TraceSchemaError
+    cfg = synthetic_config(quick=not args.full)
+    try:
+        res = replay_trace(args.scheme, args.trace, cfg)
+    except (TraceSchemaError, OSError) as exc:
+        print(f"cannot replay: {exc}", file=sys.stderr)
+        return 2
+    print(f"replayed {args.trace} under {args.scheme}: "
+          f"delivered={res.ejected} avg_latency={res.avg_latency:.2f} "
+          f"throughput={res.throughput:.4f}")
+    return 0
+
+
+def _scenarios_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments scenarios",
+        description="Declarative scenario workloads: phased/bursty "
+                    "traffic specs, irregular-topology partition sweeps, "
+                    "and deterministic trace record/replay — all through "
+                    "the campaign cache (the scenario content token is "
+                    "part of every cache key).")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="run scenario specs + the irregular-topology sweep")
+    p_run.add_argument("scenarios", nargs="*",
+                       help="library scenario names or spec .json paths "
+                            "(default: the whole library)")
+    p_run.add_argument("--topologies", default=None,
+                       help="comma-separated irregular topologies, e.g. "
+                            "ring:8,torus:4x4,mesh:16x16")
+    p_run.add_argument("--seeds", default=None,
+                       help="comma-separated replica seeds")
+    _add_common_flags(p_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="load-scale sweep of one scenario")
+    p_sweep.add_argument("scenario", nargs="?", default="bursty",
+                         help="scenario name or .json path "
+                              "(default: bursty)")
+    p_sweep.add_argument("--scales", default=None,
+                         help="comma-separated rate multipliers "
+                              "(default: 0.5,1,1.5,2)")
+    p_sweep.add_argument("--seeds", default=None,
+                         help="comma-separated replica seeds")
+    _add_common_flags(p_sweep)
+
+    p_rec = sub.add_parser(
+        "record", help="run a scenario once, recording its generation "
+                       "stream to a versioned trace artifact")
+    p_rec.add_argument("scenario", help="scenario name or .json path")
+    p_rec.add_argument("--out", default=None,
+                       help="trace path (default: "
+                            "trace_<name>_<sha>.jsonl)")
+    p_rec.add_argument("--scheme", default="fastpass")
+    p_rec.add_argument("--seed", type=int, default=1)
+    p_rec.add_argument("--full", action="store_true",
+                       help="paper-scale windows")
+
+    p_rep = sub.add_parser(
+        "replay", help="replay a recorded trace as the traffic source")
+    p_rep.add_argument("trace", help="trace .jsonl path")
+    p_rep.add_argument("--scheme", default="fastpass")
+    p_rep.add_argument("--full", action="store_true",
+                       help="paper-scale windows")
+
+    args = parser.parse_args(argv)
+    if args.cmd == "run":
+        return _scenarios_run(parser, args)
+    if args.cmd == "sweep":
+        return _scenarios_sweep(args)
+    if args.cmd == "record":
+        return _scenarios_record(args)
+    return _scenarios_replay(args)
+
+
 # -- faults subcommands -------------------------------------------------
 
 def _csv(text: str) -> list[str]:
@@ -548,6 +721,9 @@ def main(argv=None) -> int:
         return _fabric_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "scenarios" and len(argv) > 1 and \
+            argv[1] in ("run", "sweep", "record", "replay"):
+        return _scenarios_main(argv[1:])
     if argv and argv[0] == "perf":
         from repro.experiments import perf
         return perf.main(argv[1:])

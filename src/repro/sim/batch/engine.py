@@ -90,8 +90,24 @@ class ReplicaBatch:
 
     def __init__(self, cfg: SimConfig, scheme: str, pattern: str,
                  rate: float, seeds, scheme_kwargs: dict | None = None,
-                 traffic_stop: int | None = None, naive: bool = False):
+                 traffic_stop: int | None = None, naive: bool = False,
+                 spec=None):
         kwargs = dict(scheme_kwargs or {})
+        if spec is not None and not spec.chunk_aligned(
+                SyntheticTraffic.CHUNK):
+            # A scenario source clamps its fills at phase boundaries, so
+            # its refill clock is spec-derived.  The lock-step scheduler
+            # and the (R, CHUNK) traffic matrix assume every live source
+            # shares chunk boundaries that are multiples of CHUNK; a
+            # misaligned spec would hand ``ensure`` ragged count rows.
+            # ``replica_signature`` never folds such points — this guard
+            # catches direct construction.
+            raise ValueError(
+                f"scenario {spec.name!r} has phase boundaries "
+                f"{spec.boundaries()} not aligned to the "
+                f"{SyntheticTraffic.CHUNK}-cycle refill quantum; replica "
+                "batching would desynchronise the lock-step traffic "
+                "matrix — run these points scalar")
         if cfg.engine == "soa":
             # The batch replays Simulation.run's control flow over the
             # scalar Network.step datapath; a per-replica SoA kernel
@@ -101,13 +117,20 @@ class ReplicaBatch:
             # the campaign executors skip folding for engine="soa"
             # anyway, this normalisation covers direct construction.
             cfg = cfg.with_(engine="active")
+        if spec is not None:
+            from repro.scenario.source import ScenarioTraffic
+
+            def make_traffic(seed):
+                return ScenarioTraffic(spec, seed=seed, stop=traffic_stop)
+        else:
+            def make_traffic(seed):
+                return SyntheticTraffic(pattern, rate, seed=seed,
+                                        stop=traffic_stop)
         self.shared = SharedStructures()
         self.sims: list[Simulation] = []
         for seed in seeds:
             sim = Simulation(
-                cfg, get_scheme(scheme, **kwargs),
-                SyntheticTraffic(pattern, rate, seed=seed,
-                                 stop=traffic_stop),
+                cfg, get_scheme(scheme, **kwargs), make_traffic(seed),
                 shared=self.shared)
             if naive:
                 sim.net.force_naive_step = True

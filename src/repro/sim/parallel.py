@@ -101,6 +101,54 @@ class Point:
         return Point(scheme, tuple(sorted(scheme_kwargs.items())),
                      pattern, rate, tuple(sorted(meta)))
 
+    @staticmethod
+    def make_scenario(scheme: str, spec, seed: int | None = None,
+                      plan=None, traffic_stop: int | None = None,
+                      **scheme_kwargs) -> "Point":
+        """A declarative-scenario point (``pattern="scenario:<name>"``).
+
+        The spec's full canonical token rides in ``meta``, so the
+        campaign cache keys on the scenario *content* — edit any phase
+        and every cached point misses; the name alone never collides.
+        Seed replicas of a chunk-aligned spec fold into lock-step
+        batches like plain synthetic points (``replica_signature``
+        checks the alignment).
+        """
+        meta = [("scenario", spec.token())]
+        if seed is not None:
+            meta.append(("seed", seed))
+        if plan:
+            meta.append(("faults", plan.token()))
+        if traffic_stop is not None:
+            meta.append(("traffic_stop", traffic_stop))
+        return Point(scheme, tuple(sorted(scheme_kwargs.items())),
+                     f"scenario:{spec.name}", spec.mean_rate(),
+                     tuple(sorted(meta)))
+
+    @staticmethod
+    def make_trace(scheme: str, trace_path: str,
+                   **scheme_kwargs) -> "Point":
+        """A trace-replay point (``pattern="trace:<path>"``).
+
+        The artifact path is the identity; campaigns re-read the file at
+        execution time, so traces live outside the cache key's content —
+        replaying a *changed* file under the same path is the caller's
+        foot-gun, which is why the experiments name traces by scenario
+        content hash.
+        """
+        return Point(scheme, tuple(sorted(scheme_kwargs.items())),
+                     f"trace:{trace_path}", 0.0)
+
+    @staticmethod
+    def make_irregular(topology: str, partitions: int = 4,
+                       slot_cycles: int = 32,
+                       scheme: str = "fastpass") -> "Point":
+        """An irregular-topology schedule point
+        (``pattern="irregular:<topology>"``, §III-F): derives, verifies
+        and characterises FastPass partitions for an arbitrary graph."""
+        meta = (("partitions", partitions), ("slot_cycles", slot_cycles))
+        return Point(scheme, (), f"irregular:{topology}", 0.0, meta)
+
     # -- JSON round-trip (the cache-key basis) --------------------------
     def to_json(self) -> dict:
         """Canonical JSON form: kwargs/meta as sorted [key, value] lists."""

@@ -51,7 +51,7 @@ def run_point(scheme: Scheme | str, pattern: str, rate: float,
 def run_replicas(scheme: str, pattern: str, rate: float, cfg: SimConfig,
                  seeds, scheme_kwargs: dict | None = None,
                  traffic_stop: int | None = None,
-                 naive: bool = False) -> list[RunResult]:
+                 naive: bool = False, spec=None) -> list[RunResult]:
     """Run one point under several seeds as a lock-step replica batch.
 
     Semantically ``[run_point(scheme, pattern, rate, cfg, seed=s) for s
@@ -63,12 +63,18 @@ def run_replicas(scheme: str, pattern: str, rate: float, cfg: SimConfig,
     replica needs its own scheme instance, so an already-built
     :class:`Scheme` object cannot be shared the way ``run_point``
     accepts one.
+
+    Pass a :class:`~repro.scenario.spec.ScenarioSpec` as ``spec`` to
+    batch scenario replicas instead of plain synthetic ones (``pattern``
+    and ``rate`` are then taken from the spec); the batch refuses specs
+    whose phase boundaries are not aligned to the traffic refill
+    quantum — those points must run scalar.
     """
     from repro.sim.batch.engine import ReplicaBatch
     batch = ReplicaBatch(cfg, scheme, pattern, rate,
                          [cfg.seed if s is None else s for s in seeds],
                          scheme_kwargs=scheme_kwargs,
-                         traffic_stop=traffic_stop, naive=naive)
+                         traffic_stop=traffic_stop, naive=naive, spec=spec)
     return batch.run()
 
 

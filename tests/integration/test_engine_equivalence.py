@@ -163,6 +163,90 @@ def test_soa_transpose_and_seeds():
                                  f"{name}/transpose seed={seed}")
 
 
+# -- Scenario-source differentials ---------------------------------------
+#
+# Every scenario source (bursty/MMPP, hotspot shift, mixed lanes) and the
+# trace-replay source must drive all three engines to bit-identical
+# results: they sit on the same TrafficSource seam, so any divergence
+# means an engine is consuming traffic state out of order.
+
+from repro.scenario.source import ScenarioTraffic  # noqa: E402
+from repro.scenario.spec import SCENARIOS  # noqa: E402
+from repro.scenario.trace import TraceReplay  # noqa: E402
+
+
+def _run_scenario(scheme, spec, seed, engine, cfg=None, naive=False):
+    cfg = (cfg or _cfg()).with_(engine=engine)
+    sim = Simulation(cfg, get_scheme(scheme),
+                     ScenarioTraffic(spec, seed=seed))
+    sim.net.force_naive_step = naive
+    return sim.run(), sim
+
+
+@pytest.mark.parametrize("scenario",
+                         ["bursty", "hotspot_shift", "mixed_lanes"])
+def test_scenario_sources_match_across_engines(scenario):
+    spec = SCENARIOS[scenario]
+    seed = 7
+    soa_res, soa_sim = _run_scenario("fastpass", spec, seed, "soa")
+    act_res, _ = _run_scenario("fastpass", spec, seed, "active")
+    naive_res, _ = _run_scenario("fastpass", spec, seed, "active",
+                                 naive=True)
+    assert_results_equal(soa_res, act_res, f"{scenario} soa vs active")
+    assert_results_equal(soa_res, naive_res, f"{scenario} soa vs naive")
+    assert soa_res.ejected > 0
+    assert soa_sim.engine_used == "soa"
+    assert soa_sim.net.soa is not None and soa_sim.net.soa.cycles > 0
+
+
+def test_scenario_under_transient_faults_matches():
+    """A scenario source driven through a transient fault plan: SoA must
+    fall back, and all three paths must still agree bit for bit."""
+    from repro.fault.plan import LINK_FLAP, FaultEvent, FaultPlan
+    plan = FaultPlan(
+        events=(FaultEvent(LINK_FLAP, at=150, router=5, port=2,
+                           duration=120),),
+        rate=0.002, start=100, stop=400, seed=3)
+    cfg = _cfg().with_(fault_plan=plan, paranoia=0)
+    spec = SCENARIOS["bursty"]
+    soa_res, soa_sim = _run_scenario("fastpass", spec, 5, "soa", cfg=cfg)
+    act_res, _ = _run_scenario("fastpass", spec, 5, "active", cfg=cfg)
+    naive_res, _ = _run_scenario("fastpass", spec, 5, "active", cfg=cfg,
+                                 naive=True)
+    assert soa_sim.net.soa is None
+    assert "fallback" in soa_sim.engine_used
+    assert_results_equal(soa_res, act_res, "scenario faults soa vs active")
+    assert_results_equal(soa_res, naive_res, "scenario faults vs naive")
+
+
+def test_trace_replay_matches_across_engines(tmp_path):
+    """Record once, then replay the identical stream through every
+    engine — the recorded run and all three replays must agree."""
+    from repro.scenario.runner import record_scenario, replay_trace
+    rec_res, path = record_scenario("fastpass", SCENARIOS["bursty"],
+                                    _cfg(), tmp_path / "t.jsonl", seed=9)
+    act_res = replay_trace("fastpass", path, _cfg().with_(engine="active"))
+    soa_res = replay_trace("fastpass", path, _cfg().with_(engine="soa"))
+    naive_sim = Simulation(_cfg(), get_scheme("fastpass"),
+                           TraceReplay.from_file(path))
+    naive_sim.net.force_naive_step = True
+    naive_res = naive_sim.run()
+    naive_res.extra["rate"] = naive_sim.traffic.rate
+    naive_res.extra["pattern"] = naive_sim.traffic.pattern
+    # The recorded run labels itself "scenario:..." while replays say
+    # "trace:..." — everything else must match bit for bit.
+    for f in dataclasses.fields(act_res):
+        if f.name == "extra":
+            continue
+        assert _same(getattr(act_res, f.name), getattr(rec_res, f.name)), \
+            f"replay vs recorded: field {f.name!r} differs"
+    assert {k: v for k, v in act_res.extra.items() if k != "pattern"} \
+        == {k: v for k, v in rec_res.extra.items() if k != "pattern"}
+    assert_results_equal(soa_res, act_res, "replay soa vs active")
+    assert_results_equal(naive_res, act_res, "replay naive vs active")
+    assert act_res.ejected > 0
+
+
 def test_soa_kernel_fast_paths_engage():
     """The perf-bearing fast paths must demonstrably fire: cycles where
     the whole router phase is screened out, injection-step skips, and

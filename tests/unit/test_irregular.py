@@ -43,6 +43,26 @@ class TestHolisticPath:
         assert irregular.holistic_path(nx.Graph()) == []
 
 
+class TestHolisticPathEdgeCases:
+    def test_single_node_graph(self):
+        """Connected but edgeless: one router, nothing to walk."""
+        g = nx.Graph()
+        g.add_node(0)
+        assert irregular.holistic_path(g) == []
+
+    def test_two_node_graph(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        path = irregular.holistic_path(g)
+        assert sorted(path) == [(0, 1), (1, 0)]
+
+    def test_star_center_repeats_but_links_unique(self):
+        g = nx.star_graph(5)
+        path = irregular.holistic_path(g)
+        assert len(path) == 2 * g.number_of_edges()
+        assert len(set(path)) == len(path)
+
+
 class TestSegmentation:
     def test_segments_partition_the_path(self):
         g = ring_graph(8)
@@ -62,6 +82,14 @@ class TestSegmentation:
         g = ring_graph(4)
         with pytest.raises(ValueError):
             irregular.segment_path(irregular.holistic_path(g), 100)
+
+    def test_partitions_exceeding_circuit_length_rejected(self):
+        """P > circuit length through the full derivation entry point:
+        a 3-ring's circuit has 6 directed links, so P=7 cannot give
+        every partition at least one."""
+        g = ring_graph(3)
+        with pytest.raises(ValueError):
+            irregular.derive_partitions(g, 7)
 
     def test_zero_segments_rejected(self):
         with pytest.raises(ValueError):
@@ -87,6 +115,28 @@ class TestVerification:
         bad = [segs[0][:-1], segs[1]]
         with pytest.raises(AssertionError):
             irregular.verify_segments(g, bad)
+
+
+class TestChannelCoverage:
+    """Cross-check over the topology families the scenario CLI sweeps:
+    the derived segments must cover every directed channel exactly once,
+    whatever the graph's degree profile."""
+
+    @pytest.mark.parametrize("topology", ["ring:8", "star:6", "mesh:3x5",
+                                          "torus:4x4", "hypercube:4"])
+    @pytest.mark.parametrize("parts", [1, 2, 4])
+    def test_segments_cover_every_directed_channel_once(self, topology,
+                                                        parts):
+        from repro.scenario.irregular import build_graph
+        g = build_graph(topology)
+        segs, routers_of = irregular.derive_partitions(g, parts)
+        want = {(u, v) for u, v in g.edges()} \
+            | {(v, u) for u, v in g.edges()}
+        got = [link for seg in segs for link in seg]
+        assert len(got) == len(want), "a channel is missing or doubled"
+        assert set(got) == want
+        assert len(routers_of) == parts
+        irregular.verify_segments(g, segs)
 
 
 class TestIrregularSchedule:
