@@ -67,14 +67,26 @@ def point_key(point: Point, cfg: SimConfig, salt: str) -> str:
 
 
 def result_to_json(res: RunResult) -> dict:
-    return dataclasses.asdict(res)
+    d = dataclasses.asdict(res)
+    # The engine that actually produced the result rides along as
+    # attribution metadata.  It is NOT a RunResult field: results are
+    # engine-invariant by contract, so equality checks, cache keys, and
+    # the fabric's redundancy votes must never see it.
+    engine = getattr(res, "engine_used", None)
+    if engine is not None:
+        d["engine_used"] = engine
+    return d
 
 
 _RESULT_FIELDS = {f.name for f in dataclasses.fields(RunResult)}
 
 
 def result_from_json(d: dict) -> RunResult:
-    return RunResult(**{k: v for k, v in d.items() if k in _RESULT_FIELDS})
+    res = RunResult(**{k: v for k, v in d.items() if k in _RESULT_FIELDS})
+    engine = d.get("engine_used")
+    if engine is not None:
+        res.engine_used = engine
+    return res
 
 
 class RunCache:
@@ -116,6 +128,10 @@ class RunCache:
             "salt": self.salt,
             "point": point.to_json(),
             "cfg": dataclasses.asdict(cfg),
+            # Top-level attribution of which engine produced the entry
+            # (also inside result_to_json): `campaign status` scans it
+            # without deserialising results.
+            "engine": getattr(result, "engine_used", None),
             "result": result_to_json(result),
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -135,6 +151,25 @@ class RunCache:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def engine_counts(self) -> dict[str, int]:
+        """Cached entries grouped by the engine that produced them.
+
+        Entries written before engine attribution existed (or by paths
+        that never attach it) count as ``"unrecorded"``.
+        """
+        counts: dict[str, int] = {}
+        if not self.root.is_dir():
+            return counts
+        for path in self.root.glob("*/*.json"):
+            try:
+                with open(path) as fh:
+                    entry = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            engine = entry.get("engine") or "unrecorded"
+            counts[engine] = counts.get(engine, 0) + 1
+        return counts
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -161,11 +161,10 @@ class CampaignExecutor:
         #: group points differing only in their meta seed into lock-step
         #: replica batches (results stay bit-identical and individually
         #: cached; REPRO_NO_BATCH=1 is the environment escape hatch).
-        #: An SoA-engined campaign keeps its points scalar: the lock-step
-        #: batch would silently substitute the scalar datapath (see
-        #: ReplicaBatch), defeating the engine choice without changing
-        #: results.
-        self.auto_batch = auto_batch and cfg.engine != "soa" and \
+        #: SoA-engined points fold too: the batch runs them under the
+        #: fused multi-replica screen (repro.sim.soa.batch), so seeds
+        #: share one table build AND one numpy pass per cycle.
+        self.auto_batch = auto_batch and \
             os.environ.get("REPRO_NO_BATCH") != "1"
         self.summary: dict = {}
 

@@ -46,6 +46,7 @@ def execute_point(point: Point, cfg: SimConfig) -> RunResult:
         res.extra["benchmark"] = bench
         res.extra["completed"] = traffic.completed
         res.extra["total"] = traffic.total_txns
+        res.engine_used = sim.engine_used
         return res
     if pattern == "stress:protocol":
         from repro.experiments.table1 import deadlock_traffic
@@ -56,6 +57,7 @@ def execute_point(point: Point, cfg: SimConfig) -> RunResult:
             max_cycles=meta.get("max_cycles", 80000))
         res.extra["traffic_done"] = sim.traffic.done()
         res.extra["completed"] = sim.traffic.completed
+        res.engine_used = sim.engine_used
         return res
     if pattern.startswith("scenario:"):
         from repro.scenario.runner import run_scenario

@@ -237,6 +237,11 @@ def _campaign_status(args) -> int:
     if cache is not None:
         print(f"run cache: {len(cache)} entries at {cache.root} "
               f"(salt {cache.salt})")
+        engines = cache.engine_counts()
+        if engines:
+            parts = ", ".join(f"{name}: {n}" for name, n in
+                              sorted(engines.items()))
+            print(f"    by engine: {parts}")
     return 0
 
 

@@ -406,7 +406,14 @@ class Coordinator:
         candidates = self._nmr.get(task.tid, [])
         groups: dict[str, list[dict]] = {}
         for cand in candidates:
-            blob = json.dumps(cand["results"], sort_keys=True)
+            # Vote on the result payload only: engine attribution is
+            # metadata, and two honest workers may legitimately run the
+            # same point under different engines (results are
+            # engine-invariant by contract).
+            votable = [{k: v for k, v in r.items() if k != "engine_used"}
+                       if isinstance(r, dict) else r
+                       for r in cand["results"]]
+            blob = json.dumps(votable, sort_keys=True)
             groups.setdefault(blob, []).append(cand)
         ranked = sorted(groups.values(), key=len, reverse=True)
         if len(ranked) == 1 or len(ranked[0]) >= 2:

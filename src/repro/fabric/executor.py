@@ -157,9 +157,9 @@ class FabricExecutor:
         self.workers = workers
         self.retry = retry or RetryPolicy()
         self.progress = progress
-        # engine="soa" disables replica folding for the same reason the
-        # local executor does: ReplicaBatch drives the scalar datapath.
-        self.auto_batch = auto_batch and cfg.engine != "soa" and \
+        # SoA points fold like any others — ReplicaBatch runs them under
+        # the fused multi-replica screen (repro.sim.soa.batch).
+        self.auto_batch = auto_batch and \
             os.environ.get("REPRO_NO_BATCH") != "1"
         self.session = session
         self.lease_ttl_s = lease_ttl_s

@@ -42,6 +42,7 @@ def run_scenario(scheme: Scheme | str, spec: ScenarioSpec, cfg: SimConfig,
     res = sim.run()
     res.extra["rate"] = traffic.rate
     res.extra["pattern"] = traffic.pattern
+    res.engine_used = sim.engine_used
     if obs is not None:
         from repro.obs import write_metrics
         name = f"{scheme.label}_scenario_{spec.name}"
@@ -92,4 +93,5 @@ def replay_trace(scheme: Scheme | str, trace: str | Path | TraceReplay,
     res = sim.run()
     res.extra["rate"] = traffic.rate
     res.extra["pattern"] = traffic.pattern
+    res.engine_used = sim.engine_used
     return res

@@ -20,6 +20,13 @@ handling therefore need no vectorized variant — the scalar fallback *is*
 the datapath, which is what makes the equality proof in the differential
 tests hold for every scheme and every corner case at once.
 
+With ``engine="soa"`` the same lock-step skeleton hosts the fused
+replica-batched screen (:mod:`repro.sim.soa.batch`): one numpy pass per
+cycle answers head-of-line feasibility for *every* replica, and each
+replica's winners are applied by its own scalar kernel — so the
+bit-identity argument above is unchanged, it just runs R screens for
+the price of one.
+
 On top of that, the batch scheduler extends the PR-2 parking contract
 from routers to whole replicas: a replica that is provably idle — no
 packet anywhere, no scheduled event, no consumer models, and a traffic
@@ -108,15 +115,16 @@ class ReplicaBatch:
                 f"{SyntheticTraffic.CHUNK}-cycle refill quantum; replica "
                 "batching would desynchronise the lock-step traffic "
                 "matrix — run these points scalar")
-        if cfg.engine == "soa":
-            # The batch replays Simulation.run's control flow over the
-            # scalar Network.step datapath; a per-replica SoA kernel
-            # would fight the whole-replica fast-forward's closed-form
-            # bookkeeping.  Engines are bit-identical by contract, so
-            # running the replicas scalar changes nothing but speed —
-            # the campaign executors skip folding for engine="soa"
-            # anyway, this normalisation covers direct construction.
-            cfg = cfg.with_(engine="active")
+        # engine="soa" replicas run under a fused multi-replica screen
+        # (SoABatch): the networks are built with the kernel attach
+        # deferred, then leased into one set of (R, slots) parent arrays.
+        # Whole-replica parking is disabled for those batches — the
+        # kernel's deferred-rotation bookkeeping assumes every switch
+        # cycle it skipped was its own decision — which costs nothing in
+        # the saturated regime the kernel targets.  ``naive`` keeps the
+        # scalar path (it forces the naive step loop).
+        defer_soa = cfg.engine == "soa"
+        use_soa_batch = defer_soa and not naive
         if spec is not None:
             from repro.scenario.source import ScenarioTraffic
 
@@ -131,10 +139,14 @@ class ReplicaBatch:
         for seed in seeds:
             sim = Simulation(
                 cfg, get_scheme(scheme, **kwargs), make_traffic(seed),
-                shared=self.shared)
+                shared=self.shared, defer_soa=defer_soa)
             if naive:
                 sim.net.force_naive_step = True
             self.sims.append(sim)
+        self.soa = None
+        if use_soa_batch and self.sims[0].net.soa_fallback is None:
+            from repro.sim.soa.batch import SoABatch
+            self.soa = SoABatch([s.net for s in self.sims])
         self.matrix = TrafficMatrix([s.traffic for s in self.sims])
         #: replica-cycles skipped by whole-replica fast-forward (the
         #: batch analogue of router parking); exposed for tests/metrics
@@ -185,21 +197,29 @@ class ReplicaBatch:
                     continue        # stopped sources never refill again
                 if t._chunk_end < block_end:
                     block_end = t._chunk_end
-            for ri in live:
-                sim = sims[ri]
-                net = sim.net
-                step = net.step
-                park = can_park[ri]
-                c = net.cycle
-                while c < block_end:
-                    step()
+            if self.soa is not None:
+                # Fused lock-step: every cycle is one batched screen
+                # over all replicas (demoted ones take scalar steps
+                # inside the same loop, staying cycle-aligned).
+                lead = sims[live[0]].net
+                while lead.cycle < block_end:
+                    self.soa.step_cycle(live)
+            else:
+                for ri in live:
+                    sim = sims[ri]
+                    net = sim.net
+                    step = net.step
+                    park = can_park[ri]
                     c = net.cycle
-                    if park and c < block_end and _quiet(net):
-                        to = self._park_until(sim, ri, c, block_end)
-                        if to > c:
-                            _fast_forward(net, c, to)
-                            self.skipped_cycles += to - c
-                            c = to
+                    while c < block_end:
+                        step()
+                        c = net.cycle
+                        if park and c < block_end and _quiet(net):
+                            to = self._park_until(sim, ri, c, block_end)
+                            if to > c:
+                                _fast_forward(net, c, to)
+                                self.skipped_cycles += to - c
+                                c = to
             now = block_end
 
         # -- phase 2: drain, with per-replica retirement -----------------
@@ -217,6 +237,18 @@ class ReplicaBatch:
                         and not net.watchdog.deadlocked
                         and net.total_backlog() + net.limbo > 0)
 
+        if self.soa is not None:
+            # Lock-step drain with per-replica retirement: a drained
+            # replica stops stepping (exactly where its scalar drain
+            # loop would exit) while the rest keep the fused screen.
+            undrained = [ri for ri in live if not drained(sims[ri])]
+            while undrained:
+                self.soa.step_cycle(undrained)
+                undrained = [ri for ri in undrained
+                             if not drained(sims[ri])]
+            for ri in live:
+                results[ri] = self._finish(sims[ri])
+            return results
         for ri in live:
             sim = sims[ri]
             step = sim.net.step
@@ -229,6 +261,9 @@ class ReplicaBatch:
         res = sim._result()
         res.extra["rate"] = sim.traffic.rate
         res.extra["pattern"] = sim.traffic.pattern
+        # Attribution metadata, not a result field: travels as a plain
+        # attribute so cache keys and bit-identity stay engine-blind.
+        res.engine_used = sim.engine_used
         return res
 
     # ------------------------------------------------------------------

@@ -17,7 +17,8 @@ from repro.network.routing import ROUTERS
 from repro.network.topology import Mesh
 
 
-def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
+def build_network(cfg: SimConfig, scheme, shared=None,
+                  defer_soa: bool = False) -> Network:
     """Construct a network configured for ``scheme``.
 
     ``shared`` is a :class:`repro.sim.batch.shared.SharedStructures`:
@@ -27,6 +28,11 @@ def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
     workers whose parent prewarmed the structures inherit them
     copy-on-write instead of re-deriving (and a cold process, where the
     cache is empty, builds exactly as before).
+
+    ``defer_soa`` keeps an ``engine="soa"`` network's router hook and
+    fallback decision but skips the kernel attach — for
+    :class:`~repro.sim.soa.batch.SoABatch`, which leases the state
+    arrays of every replica and attaches the kernels itself.
     """
     cfg = scheme.configure(cfg)
     router_cls = scheme.router_cls
@@ -54,8 +60,10 @@ def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
                   shared=shared)
     #: why an engine="soa" request fell back to scalar (None otherwise)
     net.soa_fallback = soa_fallback
+    #: why an attached kernel detached mid-run (None otherwise)
+    net.soa_demoted = None
     scheme.build(net)
-    if use_soa:
+    if use_soa and not defer_soa:
         from repro.sim.soa import attach
         attach(net)
     return net
@@ -64,27 +72,41 @@ def build_network(cfg: SimConfig, scheme, shared=None) -> Network:
 class Simulation:
     """One (scheme, traffic, config) run."""
 
-    def __init__(self, cfg: SimConfig, scheme, traffic, shared=None):
+    def __init__(self, cfg: SimConfig, scheme, traffic, shared=None,
+                 defer_soa: bool = False):
         self.scheme = scheme
-        self.net = build_network(cfg, scheme, shared=shared)
+        self.net = build_network(cfg, scheme, shared=shared,
+                                 defer_soa=defer_soa)
         self.cfg = self.net.cfg
         net = self.net
         if self.cfg.engine == "naive":
             net.force_naive_step = True
-        #: which cycle engine actually drives this run.  Deliberately an
-        #: attribute, not a RunResult field: every engine is bit-identical,
-        #: so results (and the campaign cache) must not carry engine ids.
-        if net.soa is not None:
-            self.engine_used = "soa"
-        elif self.cfg.engine == "soa":
-            self.engine_used = f"active (soa fallback: {net.soa_fallback})"
-        elif self.cfg.engine == "naive":
-            self.engine_used = "naive"
-        else:
-            self.engine_used = "active"
         self.traffic = traffic
         traffic.bind(self.net)
         self.net.traffic = traffic
+
+    @property
+    def engine_used(self) -> str:
+        """Which cycle engine actually drives this run.
+
+        Deliberately a property over live network state, not a RunResult
+        field: every engine is bit-identical, so results (and the
+        campaign cache keys) must not depend on engine ids.  Evaluated
+        late so mid-run demotions (batched replicas leaving the kernel's
+        envelope) are reported truthfully.
+        """
+        net = self.net
+        if net.soa is not None:
+            return "soa"
+        if net.force_naive_step:
+            return "naive"
+        if self.cfg.engine == "soa":
+            if net.soa_fallback is not None:
+                return f"active (soa fallback: {net.soa_fallback})"
+            if net.soa_demoted is not None:
+                return f"active (soa demoted: {net.soa_demoted})"
+            return "active"
+        return "active"
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:

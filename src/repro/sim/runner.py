@@ -35,6 +35,9 @@ def run_point(scheme: Scheme | str, pattern: str, rate: float,
     res = sim.run()
     res.extra["rate"] = rate
     res.extra["pattern"] = pattern
+    # Attribution metadata as a plain attribute (NOT a RunResult field or
+    # extra entry): results and cache keys must stay engine-blind.
+    res.engine_used = sim.engine_used
     if obs is not None:
         from repro.obs import write_metrics
         name = f"{scheme.label}_{pattern}_r{rate:g}"

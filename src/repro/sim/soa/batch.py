@@ -1,0 +1,250 @@
+"""Replica-batched SoA screen: one fused numpy pass across all seeds.
+
+:class:`~repro.sim.batch.engine.ReplicaBatch` runs R seed-replicas of
+one configuration in chunk-granular lock-step.  With ``engine="soa"``
+each replica's kernel used to screen its own cycle; here the per-slot
+state arrays of every replica become rows of batch-owned ``(B, N)``
+parents (:class:`SoALease`), and :class:`SoABatch` evaluates the
+head-of-line screen — credit prefix sum, ``pref[h_phi] > pref[h_plo]``,
+link-busy gather — for *all* replicas in one pass per cycle.
+
+The coordinate system is global: one ``cumsum`` over the stacked
+``free.ravel()`` (length ``B*N``) makes prefix indices and free-list
+indices interchangeable, both offset by ``ri * N``.  Each lease kernel
+bakes its replica offset into its stored route rows at refresh time
+(:meth:`~repro.sim.soa.kernel.SoAKernel._refresh_routes`), so the fused
+gather needs no per-cycle index arithmetic and the scalar apply loop
+scans the batch-global free list directly.
+
+Apply stays exactly scalar and exactly per-replica: winners are
+dispatched to each replica's unchanged object graph through the same
+:meth:`~repro.sim.soa.kernel.SoAKernel._apply_routers` the standalone
+kernel uses, so per-replica bit-identity holds by construction.  A
+bounce or FastPass upgrade in one replica only forces *that* replica's
+routers onto the slow materialized path; the others keep screening
+vectorized.  Should a replica's network leave the kernel's supported
+envelope mid-run (suspension, ``force_naive_step``), :meth:`demote`
+detaches just that replica — flushing its deferred-rotation backlog so
+the scalar engine resumes bit-identically — while the rest of the batch
+stays fused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.soa.tables import flat_index_bound
+
+
+class SoALease:
+    """Batch-owned parent arrays; row ``ri`` is replica ``ri``'s state.
+
+    Every array mirrors its standalone-kernel counterpart with a leading
+    replica axis; ``pref`` is the single fused credit prefix-sum buffer
+    over the stacked free mask (``B*N + 1`` entries, ``pref[0] = 0``).
+    """
+
+    __slots__ = ("B", "R", "V", "N",
+                 "s_has", "s_ready", "s_free", "s_dst", "s_vn", "s_esc",
+                 "h_mo", "h_plo", "h_phi", "h_lidx", "h_valid", "h_ej",
+                 "in_busy", "link_busy", "pref")
+
+    def __init__(self, B: int, R: int, V: int):
+        flat_index_bound(R, V, replicas=B)
+        self.B, self.R, self.V = B, R, V
+        self.N = N = R * 5 * V
+        self.s_has = np.zeros((B, N), dtype=bool)
+        self.s_ready = np.zeros((B, N), dtype=np.int64)
+        self.s_free = np.zeros((B, N), dtype=np.int64)
+        self.s_dst = np.zeros((B, N), dtype=np.int64)
+        self.s_vn = np.zeros((B, N), dtype=np.int64)
+        self.s_esc = np.zeros((B, N), dtype=np.int64)
+        self.h_mo = np.full((B, N, 4), -1, dtype=np.int64)
+        self.h_plo = np.zeros((B, N, 4), dtype=np.int64)
+        self.h_phi = np.zeros((B, N, 4), dtype=np.int64)
+        self.h_lidx = np.zeros((B, N, 4), dtype=np.int64)
+        self.h_valid = np.zeros((B, N, 4), dtype=bool)
+        self.h_ej = np.zeros((B, N), dtype=bool)
+        self.in_busy = np.zeros((B, R, 5), dtype=np.int64)
+        self.link_busy = np.zeros((B, R, 5), dtype=np.int64)
+        self.pref = np.empty(B * N + 1, dtype=np.int64)
+        self.pref[0] = 0
+
+
+class SoABatch:
+    """Fused multi-replica screen over lock-stepped SoA networks.
+
+    ``nets`` must be freshly built with the SoA attach deferred
+    (``build_network(..., defer_soa=True)``): the batch leases their
+    state into one parent per array and attaches every kernel itself.
+    """
+
+    def __init__(self, nets):
+        from repro.sim.soa import attach
+
+        net0 = nets[0]
+        R = len(net0.routers)
+        V = net0.cfg.total_vcs
+        self.lease = SoALease(len(nets), R, V)
+        self.nets = list(nets)
+        self.kernels = [attach(net, lease=self.lease, ri=ri)
+                        for ri, net in enumerate(nets)]
+        #: replica index -> detach reason, for demoted replicas
+        self.demoted: dict[int, str] = {}
+        #: demotions requested mid-cycle (e.g. from a scheduled event),
+        #: applied at the next cycle boundary — the requesting cycle has
+        #: already begun under the kernel and must finish under it
+        self._pending: list[tuple[int, str]] = []
+        self._in_cycle = False
+
+    @property
+    def vectorized(self) -> list[int]:
+        """Replica indices still driven by the fused screen."""
+        return [ri for ri, k in enumerate(self.kernels) if k is not None]
+
+    def demote(self, ri: int, reason: str) -> None:
+        """Detach replica ``ri`` to the scalar engine; the rest of the
+        batch keeps screening fused.  Mid-cycle requests are deferred to
+        the next cycle boundary (a cycle begun under the kernel must
+        finish under it — :meth:`~repro.sim.soa.kernel.SoAKernel.detach`
+        is only consistent between cycles)."""
+        if self.kernels[ri] is None:
+            return
+        if self._in_cycle:
+            self._pending.append((ri, reason))
+            return
+        self.kernels[ri].detach(reason)
+        self.kernels[ri] = None
+        self.demoted[ri] = reason
+
+    def step_cycle(self, live) -> None:
+        """Advance every replica in ``live`` by exactly one cycle.
+
+        Demoted replicas take a full scalar ``net.step()``; the rest run
+        ``begin_cycle`` (scheme pre-hook, events, traffic, injection),
+        then one fused screen + per-replica scalar apply, then
+        ``finish_cycle``.  Replicas are independent object graphs, so
+        the interleave cannot leak state across seeds.
+        """
+        kernels = self.kernels
+        nets = self.nets
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for ri, reason in pending:
+                self.demote(ri, reason)
+        vec = []
+        for ri in live:
+            k = kernels[ri]
+            if k is not None and (nets[ri].suspended
+                                  or nets[ri].force_naive_step):
+                self.demote(ri, "suspended" if nets[ri].suspended
+                            else "force_naive_step")
+                k = None
+            if k is None:
+                nets[ri].step()
+            else:
+                vec.append(ri)
+        if not vec:
+            return
+        self._in_cycle = True
+        try:
+            now = 0
+            for ri in vec:
+                now = kernels[ri].begin_pre()
+            # Fused injection screen: one "any claimable local-port VC"
+            # pass over the lease instead of one small expression per
+            # replica.  Skipped entirely when no replica is injecting
+            # (the whole drain phase).
+            lease = self.lease
+            lf = None
+            for ri in vec:
+                k = kernels[ri]
+                if k.net._inj_active:
+                    if lf is None:
+                        lf = ((~lease.s_has & (lease.s_free <= now))
+                              .reshape(lease.B, lease.R, 5, lease.V)
+                              [:, :, 0, :].any(axis=2))
+                    k.begin_inject(now, lf[ri].tolist())
+                else:
+                    k.begin_inject(now)
+            self._screen_apply(now, vec)
+            for ri in vec:
+                kernels[ri].finish_cycle(now)
+        finally:
+            self._in_cycle = False
+
+    # -- the fused screen ------------------------------------------------
+    def _screen_apply(self, now: int, vec) -> None:
+        lease = self.lease
+        kernels = self.kernels
+        B, R, V, N = lease.B, lease.R, lease.V, lease.N
+
+        for ri in vec:
+            k = kernels[ri]
+            if k._route_dirty:
+                k._refresh_routes()
+
+        ready = ((lease.s_has & (lease.s_ready <= now)).reshape(B, R, 5, V)
+                 & (lease.in_busy <= now)[:, :, :, None]).reshape(B, N)
+        if len(vec) != B:
+            live_mask = np.zeros(B, dtype=bool)
+            live_mask[vec] = True
+            ready &= live_mask[:, None]
+        if not ready.any():
+            # Nothing screenable anywhere; only force-materialized
+            # routers (FastPass upgrades) may still need an apply pass.
+            for ri in vec:
+                k = kernels[ri]
+                if k._force:
+                    k._apply_routers(now, None, None, None, None)
+            return
+
+        free = ~lease.s_has & (lease.s_free <= now)
+        pref = lease.pref
+        np.cumsum(free.reshape(-1), out=pref[1:])
+        lfree = (lease.link_busy <= now).reshape(-1)
+        # Route rows carry baked global offsets (ri*N into pref/free,
+        # ri*R*5 into lfree), so one gather screens every replica.
+        movable = (lease.h_valid & lfree[lease.h_lidx]
+                   & (pref[lease.h_phi] > pref[lease.h_plo])).any(axis=2)
+        movable |= lease.h_ej
+        movable &= ready
+
+        # One global head extraction + one gather per route table —
+        # the per-replica split and the small mat/cnt/feas structures
+        # are cheaper in plain python than B rounds of numpy calls on
+        # tiny arrays.
+        heads_g = np.flatnonzero(movable.reshape(-1))
+        per = {}
+        free_l = None
+        if heads_g.size:
+            free_l = free.reshape(-1).tolist()
+            mo = lease.h_mo.reshape(-1, 4)[heads_g].tolist()
+            plo = lease.h_plo.reshape(-1, 4)[heads_g].tolist()
+            phi = lease.h_phi.reshape(-1, 4)[heads_g].tolist()
+            PV = 5 * V
+            cur = -1
+            mat_list = feas = cnt = None
+            last_rid = -1
+            for i, g in enumerate(heads_g.tolist()):
+                ri = g // N
+                if ri != cur:
+                    cur = ri
+                    mat_list, feas, cnt = [], {}, [0] * R
+                    per[ri] = (mat_list, feas, cnt)
+                    last_rid = -1
+                lg = g - ri * N                 # replica-LOCAL gidx
+                rid = lg // PV
+                if rid != last_rid:             # heads_g ascending, so
+                    mat_list.append(rid)        # rids arrive in order
+                    last_rid = rid
+                cnt[rid] += 1
+                feas[lg] = (mo[i], plo[i], phi[i])
+        for ri in vec:
+            k = kernels[ri]
+            entry = per.get(ri)
+            if entry is not None:
+                k._apply_routers(now, entry[0], entry[1], free_l,
+                                 entry[2])
+            elif k._force:
+                k._apply_routers(now, None, None, None, None)

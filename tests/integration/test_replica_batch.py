@@ -4,8 +4,9 @@ to scalar execution.
 Every replica of a :class:`~repro.sim.batch.engine.ReplicaBatch` must
 return exactly the :class:`~repro.config.RunResult` that a scalar
 ``run_point`` with the same seed produces — every dataclass field plus
-the ``extra`` dict — on both step engines (active-set and naive), with
-FastPass bounces occurring, under transient faults, and while the
+the ``extra`` dict — on all three step engines (active-set, naive and
+the fused replica-batched SoA kernel), with FastPass bounces occurring,
+under transient faults, mid-run per-replica demotion, and while the
 whole-replica parking fast-path is engaging.  The paranoia audit stays
 on for the plain runs, so structural corruption introduced by structure
 sharing would be caught at its source.
@@ -181,3 +182,97 @@ def test_aggregate_reduces_across_replicas():
         <= agg["avg_latency_max"]
     assert agg["deadlocked"] == 0
     assert agg["cycles_total"] > 0
+
+
+# ----------------------------------------------------------------------
+# Replica-batched SoA: one fused numpy screen across all seeds.
+
+@pytest.mark.parametrize("rate", [0.20, 0.30])
+def test_soa_batch_matches_scalar(rate):
+    """The fused replica-axis kernel must be bit-identical on both
+    differential axes: versus a scalar run with the standalone SoA
+    kernel, and versus the active-set reference engine."""
+    cfg = _cfg(engine="soa")
+    batch = ReplicaBatch(cfg, "fastpass", "uniform", rate, SEEDS,
+                         scheme_kwargs={"n_vcs": 2})
+    batched = batch.run()
+    assert batch.soa is not None, "batch never built a fused kernel"
+    assert batch.soa.demoted == {}
+    assert batch.soa.vectorized == list(range(len(SEEDS)))
+    for seed, res in zip(SEEDS, batched):
+        assert res.engine_used == "soa"
+        soa_scalar = run_point(get_scheme("fastpass", n_vcs=2),
+                               "uniform", rate, cfg, seed=seed)
+        assert soa_scalar.engine_used == "soa"
+        assert_results_equal(soa_scalar, res,
+                             f"vs scalar-soa @{rate} seed={seed}")
+        active = run_point(get_scheme("fastpass", n_vcs=2), "uniform",
+                           rate, _cfg(), seed=seed)
+        assert_results_equal(active, res,
+                             f"vs active-set @{rate} seed={seed}")
+        assert res.ejected > 0
+
+
+def test_soa_batch_matches_scalar_with_bounces(monkeypatch):
+    """Provoked FastPass bounces (zero NI consume bandwidth, one-entry
+    ejection queues) are handled inside the fused kernel — no replica
+    may silently demote, and every field must still match scalar."""
+    from repro.network.ni import NetworkInterface
+    monkeypatch.setattr(NetworkInterface, "CONSUME_RATE", 0)
+    cfg = _cfg(engine="soa", ej_queue_pkts=1)
+    batch = ReplicaBatch(cfg, "fastpass", "uniform", 0.30, SEEDS,
+                         scheme_kwargs={"n_vcs": 2})
+    batched = batch.run()
+    assert batch.soa is not None
+    assert batch.soa.demoted == {}
+    assert sum(s.net.fastpass.engine.bounced
+               for s in batch.sims) > 0, "no bounces provoked"
+    for seed, res in zip(SEEDS, batched):
+        assert res.engine_used == "soa"
+        scalar = run_point(get_scheme("fastpass", n_vcs=2), "uniform",
+                           0.30, cfg, seed=seed)
+        assert_results_equal(scalar, res, f"soa bounces seed={seed}")
+
+
+def test_soa_batch_demotes_one_replica_mid_run():
+    """A mid-run demotion drops exactly one replica to the scalar step
+    path while the rest of the batch stays vectorized — and every
+    replica, demoted or not, remains bit-identical to its scalar run."""
+    cfg = _cfg(engine="soa")
+    seeds = SEEDS[:3]
+    batch = ReplicaBatch(cfg, "fastpass", "uniform", 0.20, seeds,
+                         scheme_kwargs={"n_vcs": 2})
+    assert batch.soa is not None
+    batch.sims[1].net.schedule(
+        137, lambda now: batch.soa.demote(1, "test-demotion"))
+    batched = batch.run()
+    assert batch.soa.demoted == {1: "test-demotion"}
+    assert batch.soa.vectorized == [0, 2]
+    assert [r.engine_used for r in batched] == \
+        ["soa", "active (soa demoted: test-demotion)", "soa"]
+    for seed, res in zip(seeds, batched):
+        scalar = run_point(get_scheme("fastpass", n_vcs=2), "uniform",
+                           0.20, cfg, seed=seed)
+        assert_results_equal(scalar, res, f"demoted seed={seed}")
+
+
+def test_soa_batch_falls_back_under_faults():
+    """Transient faults mutate timers and routes out of band, which the
+    fused kernel cannot screen; the batch must decline to vectorize
+    (whole-run scalar fallback) and still match scalar bit for bit."""
+    plan = FaultPlan(
+        events=(FaultEvent(LINK_FLAP, at=150, router=5, port=2,
+                           duration=120),),
+        rate=0.002, start=100, stop=400, seed=3)
+    cfg = _cfg(engine="soa", paranoia=0).with_(fault_plan=plan)
+    seeds = SEEDS[:3]
+    batch = ReplicaBatch(cfg, "fastpass", "uniform", 0.08, seeds,
+                         scheme_kwargs={"n_vcs": 2},
+                         traffic_stop=500)
+    batched = batch.run()
+    assert batch.soa is None, "fused kernel must refuse fault plans"
+    for seed, res in zip(seeds, batched):
+        assert "fallback" in res.engine_used
+        scalar = run_point(get_scheme("fastpass", n_vcs=2), "uniform",
+                           0.08, cfg, seed=seed, traffic_stop=500)
+        assert_results_equal(scalar, res, f"soa faults seed={seed}")

@@ -100,6 +100,17 @@ class TestResultJson:
         blob["from_the_future"] = 1
         assert result_from_json(blob).scheme == "Test"
 
+    def test_engine_attribution_round_trips(self):
+        res = _res()
+        res.engine_used = "soa"
+        back = result_from_json(
+            json.loads(json.dumps(result_to_json(res))))
+        assert back.engine_used == "soa"
+        # Results that never ran through an engine-aware path stay
+        # attribute-free, so comparisons remain engine-blind.
+        plain = result_from_json(result_to_json(_res()))
+        assert not hasattr(plain, "engine_used")
+
 
 class TestRunCache:
     def test_miss_then_hit(self, tmp_path, small_cfg):
@@ -140,3 +151,14 @@ class TestRunCache:
     def test_default_salt_is_code_version(self, tmp_path):
         assert RunCache(tmp_path).salt == code_version()
         assert len(code_version()) == 16
+
+    def test_engine_counts_breakdown(self, tmp_path, small_cfg):
+        cache = RunCache(tmp_path, salt="s")
+        for i, engine in enumerate(["soa", "soa", "active", None]):
+            p = Point.make("fastpass", "uniform", 0.1 + i * 0.01)
+            res = _res()
+            if engine is not None:
+                res.engine_used = engine
+            cache.put(cache.key_for(p, small_cfg), p, small_cfg, res)
+        assert cache.engine_counts() == {
+            "soa": 2, "active": 1, "unrecorded": 1}

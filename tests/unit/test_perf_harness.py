@@ -414,6 +414,27 @@ class TestEngineInHistory:
         assert "3.00x" not in out                  # cross-engine withheld
         assert "different engine" in out
 
+    def test_trend_plots_per_engine_trajectories(self, capsys):
+        """Mixed-engine histories are not refused: each non-baseline
+        engine normalises against its own first row, marked '*'."""
+        base = _snap([_point("p", 1000.0)])
+        base["total_cycles_per_sec"] = 1000.0      # engine: active
+        entries = [
+            {"created": "t1", "label": None, "engine": "soa",
+             "total_cycles_per_sec": 2000.0, "points": {"p": 2000.0}},
+            {"created": "t2", "label": None, "engine": "soa",
+             "total_cycles_per_sec": 5000.0, "points": {"p": 5000.0}},
+            {"created": "t3", "label": None, "engine": "active",
+             "total_cycles_per_sec": 1200.0, "points": {"p": 1200.0}},
+        ]
+        perf.print_trend(entries, base)
+        out = capsys.readouterr().out
+        assert "1.00x*" in out     # soa t1: its own self-baseline
+        assert "2.50x*" in out     # soa t2 vs soa t1, starred
+        assert "1.20x " in out     # active vs the snapshot baseline
+        assert "5.00x" not in out  # never soa-vs-active
+        assert "different engine" in out
+
     def test_compare_flags_cross_engine(self, capsys):
         new = _snap([_point("p", 2000.0)])
         new["engine"] = "soa"
